@@ -1,0 +1,120 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment driver at
+// full calibrated scale; `go test -bench=. -benchmem` therefore reproduces
+// the complete evaluation and reports how long each artifact takes to
+// regenerate.
+package sprinting_test
+
+import (
+	"io"
+	"testing"
+
+	"sprinting"
+	"sprinting/internal/experiments"
+)
+
+// benchExperiment runs one driver per iteration, discarding the rendered
+// tables (the numbers are recorded in EXPERIMENTS.md and asserted by the
+// package tests).
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	d, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := experiments.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, err := d.Run(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tb := range tables {
+			tb.Render(io.Discard)
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates Figure 1 (power density / dark silicon trends).
+func BenchmarkFig1(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkTable1 regenerates Table 1 (kernel inventory).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig2 regenerates Figure 2 (three execution modes).
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3 regenerates Figure 3 (thermal-equivalent circuit).
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4a regenerates Figure 4(a) (sprint initiation transient).
+func BenchmarkFig4a(b *testing.B) { benchExperiment(b, "fig4a") }
+
+// BenchmarkFig4b regenerates Figure 4(b) (post-sprint cooldown).
+func BenchmarkFig4b(b *testing.B) { benchExperiment(b, "fig4b") }
+
+// BenchmarkFig5 regenerates Figure 5 (PDN netlist summary).
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates Figure 6 (supply voltage vs activation ramp).
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkSec6 regenerates the §6 power-source feasibility tables.
+func BenchmarkSec6(b *testing.B) { benchExperiment(b, "sec6") }
+
+// BenchmarkFig7 regenerates Figure 7 (16-core speedup vs idealized DVFS).
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates Figure 8 (sobel speedup vs input size).
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Figure 9 (speedup across input sizes).
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates Figure 10 (speedup vs core count).
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates Figure 11 (normalized dynamic energy).
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkAblations regenerates the design-choice ablation tables
+// (solid-vs-PCM sink, §7 exit paths, sleep discipline).
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkDesignSpace regenerates the sprint-width × PCM-mass extension
+// study.
+func BenchmarkDesignSpace(b *testing.B) { benchExperiment(b, "designspace") }
+
+// BenchmarkSession regenerates the bursty-user-activity session study.
+func BenchmarkSession(b *testing.B) { benchExperiment(b, "session") }
+
+// BenchmarkSprintRunSobel16 measures one full co-simulated 16-core sprint
+// (machine + thermal + runtime) on the default sobel input.
+func BenchmarkSprintRunSobel16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sprinting.RunKernel("sobel", sprinting.SizeB,
+			sprinting.DefaultConfig(sprinting.ParallelSprint)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThermalStep measures the raw thermal-network step rate that the
+// co-simulation pays every 1000 simulated cycles.
+func BenchmarkThermalStep(b *testing.B) {
+	stack := sprinting.DefaultThermalDesign().Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stack.Step(1e-6, 16)
+	}
+}
+
+// BenchmarkActivationTransient measures one full Figure 6 PDN transient
+// (abrupt schedule).
+func BenchmarkActivationTransient(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sprinting.SimulateActivation(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Command sprintbench regenerates the paper's evaluation: every table and
+// figure, or a chosen subset, printed as ASCII tables.
+//
+// Usage:
+//
+//	sprintbench -list
+//	sprintbench -exp all
+//	sprintbench -exp fig7,fig10 -scale 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sprinting"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale  = flag.Float64("scale", 1, "input-size multiplier (<1 for quick approximate runs)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		format = flag.String("format", "table", "output format: table | csv")
+	)
+	flag.Parse()
+
+	ids := sprinting.ExperimentIDs()
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	selected := ids
+	if *exp != "all" {
+		selected = strings.Split(*exp, ",")
+	}
+	for _, id := range selected {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		start := time.Now()
+		run := sprinting.RunExperiment
+		if *format == "csv" {
+			run = sprinting.RunExperimentCSV
+		}
+		if err := run(os.Stdout, id, *scale); err != nil {
+			fmt.Fprintf(os.Stderr, "sprintbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *format != "csv" {
+			fmt.Printf("(%s regenerated in %.1fs)\n\n", id, time.Since(start).Seconds())
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command thermalsim runs standalone Figure 4 thermal transients on the
+// mobile stack: sprint initiation and post-sprint cooldown, with optional
+// CSV traces and a configurable design point.
+//
+// Usage:
+//
+//	thermalsim -mode sprint -power 16
+//	thermalsim -mode cooldown -csv cooldown.csv
+//	thermalsim -mode sprint -pcm-mg 1.5 -melt-c 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sprinting"
+)
+
+func main() {
+	var (
+		mode   = flag.String("mode", "sprint", "sprint | cooldown")
+		power  = flag.Float64("power", 16, "sprint power in watts")
+		pcmMg  = flag.Float64("pcm-mg", 150, "PCM mass in milligrams")
+		meltC  = flag.Float64("melt-c", 60, "PCM melting point in °C")
+		csvOut = flag.String("csv", "", "write the junction trace to this CSV file")
+	)
+	flag.Parse()
+
+	design := sprinting.DefaultThermalDesign()
+	design.PCMMassG = *pcmMg / 1000
+	design.PCM.MeltingPointC = *meltC
+	if err := design.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "thermalsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch *mode {
+	case "sprint":
+		res := sprinting.SimulateSprintThermals(design, *power)
+		fmt.Printf("sprint at %.1f W, %.0f mg PCM (melt %.1f °C):\n", *power, *pcmMg, *meltC)
+		fmt.Printf("  melt start      %.3f s\n", res.MeltStartS)
+		fmt.Printf("  melt complete   %.3f s\n", res.MeltEndS)
+		fmt.Printf("  plateau         %.3f s\n", res.PlateauS)
+		if res.Truncated {
+			fmt.Printf("  sprint duration > %.3f s (budget not exhausted in horizon)\n", res.SprintEndS)
+		} else {
+			fmt.Printf("  sprint duration %.3f s\n", res.SprintEndS)
+		}
+		fmt.Printf("  peak junction   %.2f °C\n", res.MaxJunctionC)
+		writeCSV(*csvOut, res.Junction.CSV())
+	case "cooldown":
+		res := sprinting.SimulateCooldownThermals(design, *power)
+		fmt.Printf("cooldown after %.1f W sprint, %.0f mg PCM:\n", *power, *pcmMg)
+		fmt.Printf("  refreeze start    %.2f s\n", res.FreezeStartS)
+		fmt.Printf("  refreeze complete %.2f s\n", res.FreezeEndS)
+		if res.NearOK {
+			fmt.Printf("  near ambient      %.2f s (within 3 °C)\n", res.NearAmbientS)
+		} else {
+			fmt.Println("  near ambient      not reached in horizon")
+		}
+		writeCSV(*csvOut, res.Junction.CSV())
+	default:
+		fmt.Fprintf(os.Stderr, "thermalsim: unknown mode %q (want sprint|cooldown)\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func writeCSV(path, data string) {
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "thermalsim: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("  trace written to %s\n", path)
+}

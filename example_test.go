@@ -1,0 +1,86 @@
+package sprinting_test
+
+import (
+	"fmt"
+
+	"sprinting"
+)
+
+// Example demonstrates the headline result: a parallel sprint completes a
+// vision burst an order of magnitude faster than sustained operation at
+// near-parity energy.
+func Example() {
+	base, err := sprinting.RunKernel("sobel", sprinting.SizeA,
+		sprinting.DefaultConfig(sprinting.Sustained))
+	if err != nil {
+		panic(err)
+	}
+	sprint, err := sprinting.RunKernel("sobel", sprinting.SizeA,
+		sprinting.DefaultConfig(sprinting.ParallelSprint))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("order of magnitude faster:", sprint.Speedup(base) > 8)
+	fmt.Println("energy within 25% of sequential:", sprint.NormalizedEnergy(base) < 1.25)
+	fmt.Println("completed within the sprint budget:", !sprint.SprintExhausted)
+	// Output:
+	// order of magnitude faster: true
+	// energy within 25% of sequential: true
+	// completed within the sprint budget: true
+}
+
+// ExampleSimulateActivation reproduces the §5 conclusion: abrupt activation
+// of 16 cores is electrically unsafe, a 128 µs ramp is fine.
+func ExampleSimulateActivation() {
+	abrupt, err := sprinting.SimulateActivation(0)
+	if err != nil {
+		panic(err)
+	}
+	slow, err := sprinting.SimulateActivation(128e-6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("abrupt within tolerance:", abrupt.WithinTolerance)
+	fmt.Println("128us ramp within tolerance:", slow.WithinTolerance)
+	// Output:
+	// abrupt within tolerance: false
+	// 128us ramp within tolerance: true
+}
+
+// ExampleNewGovernor shows the §7 budget manager pacing repeated sprints.
+func ExampleNewGovernor() {
+	g := sprinting.NewGovernor()
+	fmt.Println("fresh budget allows 16W x 1s:", g.CanSprint(16, 1))
+	g.RecordSprint(16, 1)
+	fmt.Println("immediately again:", g.CanSprint(16, 1))
+	g.Idle(g.TimeToFullS())
+	fmt.Println("after cooling:", g.CanSprint(16, 1))
+	// Output:
+	// fresh budget allows 16W x 1s: true
+	// immediately again: false
+	// after cooling: true
+}
+
+// ExampleSimulateSprintThermals reproduces the Figure 4(a) thermal shape:
+// the PCM pins the junction near its melting point for about a second.
+func ExampleSimulateSprintThermals() {
+	res := sprinting.SimulateSprintThermals(sprinting.DefaultThermalDesign(), 16)
+	fmt.Println("plateau lasts most of a second:", res.PlateauS > 0.8 && res.PlateauS < 1.2)
+	fmt.Println("sprint a little over a second:", res.SprintEndS > 1.0 && res.SprintEndS < 1.6)
+	// Output:
+	// plateau lasts most of a second: true
+	// sprint a little over a second: true
+}
+
+// ExampleEvaluateSession compares service policies on a bursty trace.
+func ExampleEvaluateSession() {
+	bursts := sprinting.GenerateSession(10, 30, 2, 42)
+	sustained := sprinting.EvaluateSession(bursts, sprinting.SessionSustained)
+	governed := sprinting.EvaluateSession(bursts, sprinting.SessionGoverned)
+	fmt.Println("sprinting much more responsive:",
+		governed.MeanResponseS < sustained.MeanResponseS/8)
+	fmt.Println("zero thermal violations:", governed.ViolationJ == 0)
+	// Output:
+	// sprinting much more responsive: true
+	// zero thermal violations: true
+}

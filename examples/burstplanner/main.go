@@ -1,0 +1,63 @@
+// Burst planner — the §7 activity-based sprint management in action: an
+// interactive session fires bursts of varying demand at the governor,
+// which grants full intensity, degrades intensity, or asks the session to
+// wait, keeping the platform inside its thermal envelope without ever
+// reaching a thermal emergency.
+package main
+
+import (
+	"fmt"
+
+	"sprinting"
+)
+
+func main() {
+	g := sprinting.NewGovernor()
+	fmt.Printf("sprint budget: %.1f J usable (16 W platform, 1 W TDP)\n", g.CapacityJ())
+	fmt.Printf("long-run duty cycle at 16 W: %.1f%%\n\n", 100*g.DutyCycle(16))
+
+	// A photo session: bursts arrive faster than the package can cool.
+	requests := []struct {
+		atS  float64 // arrival time
+		durS float64 // desired burst length at full intensity
+	}{
+		{0.0, 0.5},
+		{1.0, 0.5},
+		{2.0, 0.8},
+		{3.0, 0.5},
+		{20.0, 1.0},
+	}
+
+	now := 0.0
+	for i, req := range requests {
+		if req.atS > now {
+			g.Idle(req.atS - now)
+			now = req.atS
+		}
+		fmt.Printf("t=%5.1fs  burst %d wants 16 W × %.1f s: ", now, i+1, req.durS)
+		switch {
+		case g.CanSprint(16, req.durS):
+			g.RecordSprint(16, req.durS)
+			now += req.durS
+			fmt.Printf("GRANTED at full intensity (%.1f J left)\n", g.RemainingJ())
+		default:
+			// Option 1: degrade intensity to fit the budget now.
+			p := g.MaxIntensityW(req.durS)
+			wait := g.TimeUntilSprintS(16, req.durS)
+			if p > 2 {
+				g.RecordSprint(p, req.durS)
+				now += req.durS
+				fmt.Printf("DEGRADED to %.1f W (full intensity in %.1f s)\n", p, wait)
+			} else {
+				// Option 2: too depleted — wait for the budget.
+				g.Idle(wait)
+				now += wait
+				g.RecordSprint(16, req.durS)
+				now += req.durS
+				fmt.Printf("WAITED %.1f s, then granted\n", wait)
+			}
+		}
+	}
+	fmt.Printf("\nsession end at t=%.1fs; budget %.1f/%.1f J; full budget back in %.1f s\n",
+		now, g.RemainingJ(), g.CapacityJ(), g.TimeToFullS())
+}

@@ -1,0 +1,158 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestSuperpositionProperty: for a linear resistive network with two
+// current sources, the response to both equals the sum of the responses to
+// each alone — the defining property of a correct linear solver.
+func TestSuperpositionProperty(t *testing.T) {
+	build := func(i1, i2 float64) float64 {
+		c := New()
+		a := c.Node("a")
+		b := c.Node("b")
+		c.R(a, Ground, 10)
+		c.R(a, b, 5)
+		c.R(b, Ground, 20)
+		if i1 != 0 {
+			c.I(Ground, a, DC(i1))
+		}
+		if i2 != 0 {
+			c.I(Ground, b, DC(i2))
+		}
+		sim, err := c.Transient(1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Step()
+		return sim.V(a)
+	}
+	f := func(raw1, raw2 float64) bool {
+		i1 := math.Mod(math.Abs(raw1), 10)
+		i2 := math.Mod(math.Abs(raw2), 10)
+		both := build(i1, i2)
+		sum := build(i1, 0) + build(0, i2)
+		return math.Abs(both-sum) < 1e-9*math.Max(1, math.Abs(both))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCapacitorDischarge: an initially DC-charged capacitor discharges
+// through a resistor as V·e^(−t/RC) once the source steps to zero.
+func TestCapacitorDischarge(t *testing.T) {
+	c := New()
+	in := c.Node("in")
+	out := c.Node("out")
+	// Source drops from 1 V to 0 at t = 0.
+	c.V(in, Ground, func(tm float64) float64 {
+		if tm <= 0 {
+			return 1
+		}
+		return 0
+	})
+	c.R(in, out, 1000)
+	c.C(out, Ground, 1e-6)
+	sim, err := c.Transient(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InitDC(); err != nil {
+		t.Fatal(err)
+	}
+	if v := sim.V(out); math.Abs(v-1) > 1e-6 {
+		t.Fatalf("InitDC voltage = %v, want 1", v)
+	}
+	sim.RunUntil(1e-3, nil) // one time constant
+	want := math.Exp(-1.0)
+	if got := sim.V(out); math.Abs(got-want) > 5e-3 {
+		t.Errorf("after 1τ: v = %.4f, want %.4f", got, want)
+	}
+}
+
+// TestCurrentDivider: two parallel resistors split a source current in
+// inverse proportion to their resistance.
+func TestCurrentDivider(t *testing.T) {
+	c := New()
+	n := c.Node("n")
+	c.I(Ground, n, DC(3))
+	c.R(n, Ground, 10)
+	c.R(n, Ground, 20)
+	sim, err := c.Transient(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Step()
+	// Parallel 10∥20 = 6.67 Ω ⇒ v = 20 V; i10 = 2 A, i20 = 1 A.
+	if got := sim.V(n); math.Abs(got-20) > 1e-9 {
+		t.Errorf("node voltage = %v, want 20", got)
+	}
+}
+
+// TestRandomLadderStability: random RC ladders driven by a step source
+// remain bounded (A-stability of the trapezoidal method).
+func TestRandomLadderStability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New()
+		prev := c.Node("n0")
+		c.V(prev, Ground, DC(1))
+		stages := 2 + rng.Intn(5)
+		nodes := []Node{}
+		for i := 0; i < stages; i++ {
+			n := c.Node("n")
+			c.R(prev, n, 1+rng.Float64()*1000)
+			c.C(n, Ground, 1e-9*(1+rng.Float64()*100))
+			nodes = append(nodes, n)
+			prev = n
+		}
+		sim, err := c.Transient(1e-7)
+		if err != nil {
+			return false
+		}
+		sim.RunUntil(1e-4, nil)
+		for _, n := range nodes {
+			v := sim.V(n)
+			if math.IsNaN(v) || v < -0.01 || v > 1.01 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInitDCWithLoad: the operating point accounts for active current
+// sources at t=0.
+func TestInitDCWithLoad(t *testing.T) {
+	c := New()
+	in := c.Node("in")
+	out := c.Node("out")
+	c.V(in, Ground, DC(2))
+	c.R(in, out, 100)
+	c.C(out, Ground, 1e-6)
+	c.I(out, Ground, DC(0.01)) // 10 mA load → 1 V drop across R
+	sim, err := c.Transient(1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InitDC(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.V(out); math.Abs(got-1.0) > 1e-3 {
+		t.Errorf("loaded operating point = %v, want 1.0", got)
+	}
+	// The transient should stay at the operating point (no startup bump).
+	sim.RunUntil(5e-5, func(s *Sim) {
+		if v := s.V(out); math.Abs(v-1.0) > 5e-3 {
+			t.Fatalf("left operating point: %v at t=%v", v, s.Time())
+		}
+	})
+}

@@ -1,0 +1,150 @@
+// Package cpu models one in-order core of the §8.1 simulator: CPI of one
+// plus cache-miss penalties, an adjustable clock (for DVFS sprinting and
+// the §7 hardware throttle), a power state (active / sleeping / power
+// gated), and per-core statistics.
+package cpu
+
+import (
+	"fmt"
+	"math"
+)
+
+// NominalCyclePs is the period of the paper's 1 GHz nominal clock in
+// picoseconds.
+const NominalCyclePs = 1000
+
+// PowerState is the core's gating state.
+type PowerState uint8
+
+// Power states.
+const (
+	// Off means power gated — dark silicon; zero dynamic energy.
+	Off PowerState = iota
+	// Active means executing instructions.
+	Active
+	// Sleeping means parked by a PAUSE (10% dynamic power).
+	Sleeping
+)
+
+// String names the state.
+func (s PowerState) String() string {
+	switch s {
+	case Off:
+		return "off"
+	case Active:
+		return "active"
+	case Sleeping:
+		return "sleeping"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Stats accumulates per-core execution counters.
+type Stats struct {
+	ComputeOps uint64
+	Loads      uint64
+	Stores     uint64
+	Pauses     uint64
+	SleepPs    uint64
+	StallPs    uint64
+	BusyPs     uint64
+	EnergyJ    float64
+}
+
+// Core is one simulated core.
+type Core struct {
+	ID int
+
+	// NowPs is the core-local clock in picoseconds.
+	NowPs uint64
+
+	// CyclePs is the current clock period; NominalCyclePs unless boosted
+	// or throttled.
+	CyclePs uint64
+
+	// VoltageScale multiplies per-op energies (V²); 1 at nominal.
+	VoltageScale float64
+
+	// State is the power state; Done marks a core whose work source is
+	// exhausted (it is then also Off).
+	State PowerState
+	Done  bool
+
+	// FinishPs records NowPs when the core went Done.
+	FinishPs uint64
+
+	Stats Stats
+
+	// ConsecutivePauses counts back-to-back PAUSE quanta; the machine uses
+	// it to drop long-parked cores into a deeper sleep state.
+	ConsecutivePauses int
+
+	// intervalJ accumulates energy since the last sample drain.
+	intervalJ float64
+}
+
+// New returns an active core at time zero, nominal frequency and voltage.
+func New(id int) *Core {
+	return &Core{ID: id, CyclePs: NominalCyclePs, VoltageScale: 1, State: Active}
+}
+
+// SetFrequencyMult sets the clock to mult × nominal (mult > 0). The §8.4
+// DVFS sprint uses 2.52×; the §7 emergency throttle uses 1/activeCores.
+func (c *Core) SetFrequencyMult(mult float64) {
+	if mult <= 0 || math.IsNaN(mult) || math.IsInf(mult, 0) {
+		panic(fmt.Sprintf("cpu: frequency multiplier must be positive and finite, got %v", mult))
+	}
+	p := math.Round(NominalCyclePs / mult)
+	if p < 1 {
+		p = 1
+	}
+	c.CyclePs = uint64(p)
+}
+
+// FrequencyMult returns the current multiplier relative to nominal.
+func (c *Core) FrequencyMult() float64 {
+	return NominalCyclePs / float64(c.CyclePs)
+}
+
+// SetVoltageMult sets the supply scaling; per-op energy scales as V².
+func (c *Core) SetVoltageMult(v float64) {
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		panic(fmt.Sprintf("cpu: voltage multiplier must be positive and finite, got %v", v))
+	}
+	c.VoltageScale = v * v
+}
+
+// AddEnergy accrues joules against the core (already voltage-scaled by the
+// caller via ScaledJ).
+func (c *Core) AddEnergy(j float64) {
+	c.Stats.EnergyJ += j
+	c.intervalJ += j
+}
+
+// ScaledJ applies the voltage scaling to a nominal energy.
+func (c *Core) ScaledJ(j float64) float64 { return j * c.VoltageScale }
+
+// DrainIntervalJ returns and clears energy accumulated since the previous
+// drain (the per-sample quantum fed to the thermal model).
+func (c *Core) DrainIntervalJ() float64 {
+	j := c.intervalJ
+	c.intervalJ = 0
+	return j
+}
+
+// MarkDone retires the core permanently.
+func (c *Core) MarkDone() {
+	if c.Done {
+		return
+	}
+	c.Done = true
+	c.State = Off
+	c.FinishPs = c.NowPs
+}
+
+// PowerGate turns the core off without marking its work done (sprint
+// termination deactivates cores whose threads migrated away).
+func (c *Core) PowerGate() {
+	c.State = Off
+}

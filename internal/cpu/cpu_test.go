@@ -1,0 +1,97 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewCoreDefaults(t *testing.T) {
+	c := New(3)
+	if c.ID != 3 || c.CyclePs != NominalCyclePs || c.State != Active || c.VoltageScale != 1 {
+		t.Errorf("unexpected defaults: %+v", c)
+	}
+}
+
+func TestFrequencyMult(t *testing.T) {
+	c := New(0)
+	c.SetFrequencyMult(2.52) // the §8.4 DVFS boost (∛16)
+	if got := c.FrequencyMult(); math.Abs(got-2.52) > 0.01 {
+		t.Errorf("freq mult = %v, want ≈2.52", got)
+	}
+	c.SetFrequencyMult(1.0 / 16) // §7 emergency throttle on 16 cores
+	if c.CyclePs != 16000 {
+		t.Errorf("throttled cycle = %d ps, want 16000", c.CyclePs)
+	}
+}
+
+func TestFrequencyPanics(t *testing.T) {
+	c := New(0)
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetFrequencyMult(%v) should panic", bad)
+				}
+			}()
+			c.SetFrequencyMult(bad)
+		}()
+	}
+}
+
+func TestVoltageScaleQuadratic(t *testing.T) {
+	c := New(0)
+	c.SetVoltageMult(2.52)
+	want := 2.52 * 2.52
+	if math.Abs(c.VoltageScale-want) > 1e-12 {
+		t.Errorf("voltage scale = %v, want %v (V²)", c.VoltageScale, want)
+	}
+	if got := c.ScaledJ(1e-9); math.Abs(got-want*1e-9) > 1e-21 {
+		t.Errorf("ScaledJ = %v", got)
+	}
+}
+
+func TestEnergyInterval(t *testing.T) {
+	c := New(0)
+	c.AddEnergy(1e-9)
+	c.AddEnergy(2e-9)
+	if got := c.DrainIntervalJ(); math.Abs(got-3e-9) > 1e-18 {
+		t.Errorf("interval = %v, want 3n", got)
+	}
+	if got := c.DrainIntervalJ(); got != 0 {
+		t.Errorf("second drain = %v, want 0", got)
+	}
+	if math.Abs(c.Stats.EnergyJ-3e-9) > 1e-18 {
+		t.Errorf("cumulative = %v, want 3n", c.Stats.EnergyJ)
+	}
+}
+
+func TestMarkDone(t *testing.T) {
+	c := New(0)
+	c.NowPs = 42_000
+	c.MarkDone()
+	if !c.Done || c.State != Off || c.FinishPs != 42_000 {
+		t.Errorf("MarkDone state: %+v", c)
+	}
+	c.NowPs = 99_000
+	c.MarkDone() // idempotent
+	if c.FinishPs != 42_000 {
+		t.Error("second MarkDone must not move the finish time")
+	}
+}
+
+func TestPowerGateKeepsWork(t *testing.T) {
+	c := New(0)
+	c.PowerGate()
+	if c.Done {
+		t.Error("power gating must not mark work done")
+	}
+	if c.State != Off {
+		t.Error("power gated core must be off")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Off.String() != "off" || Active.String() != "active" || Sleeping.String() != "sleeping" {
+		t.Error("state names wrong")
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"sprinting/internal/table"
+)
+
+// quickOpt shrinks inputs so the whole registry runs in test time.
+func quickOpt() Options { return Options{Scale: 0.12, Seed: 7} }
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	want := []string{"fig1", "table1", "fig2", "fig3", "fig4a", "fig4b", "fig5", "fig6",
+		"sec6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "designspace", "session"}
+	got := Registry()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d drivers, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Errorf("driver %d = %q, want %q", i, got[i].ID, id)
+		}
+		if got[i].Title == "" || got[i].Run == nil {
+			t.Errorf("driver %q incomplete", got[i].ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	d, err := ByID("fig7")
+	if err != nil || d.ID != "fig7" {
+		t.Fatalf("ByID(fig7) = %v, %v", d.ID, err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+// TestCheapDriversRun executes the drivers that do not need architectural
+// simulation at full fidelity.
+func TestCheapDriversRun(t *testing.T) {
+	for _, id := range []string{"fig1", "table1", "fig3", "fig4a", "fig4b", "fig5", "fig6", "sec6", "session"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			d, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tables, err := d.Run(quickOpt())
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkTables(t, tables)
+		})
+	}
+}
+
+// TestArchDriversRunQuick executes the simulation-heavy drivers at reduced
+// scale, checking structure rather than calibration (calibration is covered
+// by the core package tests and the benchmarks).
+func TestArchDriversRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy drivers skipped in -short mode")
+	}
+	for _, id := range []string{"fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			d, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tables, err := d.Run(quickOpt())
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkTables(t, tables)
+		})
+	}
+}
+
+func checkTables(t *testing.T, tables []*table.Table) {
+	t.Helper()
+	if len(tables) == 0 {
+		t.Fatal("driver produced no tables")
+	}
+	for _, tb := range tables {
+		if tb.NumRows() == 0 {
+			t.Errorf("table %q has no rows", tb.Title)
+		}
+		out := tb.String()
+		if !strings.Contains(out, tb.Header[0]) {
+			t.Errorf("table %q did not render header", tb.Title)
+		}
+	}
+}
+
+func TestFig1Values(t *testing.T) {
+	tables, err := Fig1(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 process nodes per the paper's x-axis.
+	if tables[0].NumRows() != 7 || tables[1].NumRows() != 7 {
+		t.Errorf("Figure 1 tables should have 7 node rows: %d, %d",
+			tables[0].NumRows(), tables[1].NumRows())
+	}
+}
+
+func TestTable1HasSixKernels(t *testing.T) {
+	tables, err := Table1(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables[0].NumRows() != 6 {
+		t.Errorf("Table 1 should list 6 kernels, got %d", tables[0].NumRows())
+	}
+}
+
+func TestSprintTracesExported(t *testing.T) {
+	sprint, cooldown := SprintTraces()
+	if sprint.Junction.Len() == 0 || cooldown.Junction.Len() == 0 {
+		t.Fatal("trace export empty")
+	}
+}
+
+func TestGridTracesExported(t *testing.T) {
+	traces, err := GridTraces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("want 3 schedules, got %d", len(traces))
+	}
+	for name, res := range traces {
+		if res.Supply.Len() == 0 {
+			t.Errorf("%s: empty supply trace", name)
+		}
+	}
+}

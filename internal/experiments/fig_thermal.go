@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sprinting/internal/materials"
+	"sprinting/internal/table"
+	"sprinting/internal/thermal"
+)
+
+// Fig2 regenerates Figure 2: the three execution modes — sustained, sprint
+// without phase change, and PCM-augmented sprint — completing a fixed
+// computation, with the milestones the figure's three rows illustrate
+// (cores active, cumulative computation, temperature).
+func Fig2(Options) ([]*table.Table, error) {
+	const (
+		cores     = 16
+		corePower = 1.0 // W per active core
+		workUnits = 10.0e9
+		unitRate  = 1e9 // compute units per second per core
+		dt        = 1e-4
+		horizon   = 30.0
+	)
+	cfg := thermal.DefaultStackConfig()
+
+	type mode struct {
+		name  string
+		stack *thermal.Stack
+		wide  bool // sprint with all cores?
+	}
+	modes := []mode{
+		{name: "(a) sustained (1 core)", stack: cfg.Build(), wide: false},
+		// (b) sprint without phase change: same stack geometry with an
+		// equal-mass copper block in place of the PCM.
+		{name: "(b) sprint, no PCM", stack: thermal.SolidSinkStack(cfg, materials.Copper, cfg.PCMMassG), wide: true},
+		{name: "(c) sprint + PCM", stack: cfg.Build(), wide: true},
+	}
+
+	t := table.New("Figure 2: execution modes completing a fixed task",
+		"mode", "t_done (s)", "sprint end t_one (s)", "peak junction (C)", "work done in sprint (%)")
+	for _, m := range modes {
+		var (
+			done      float64
+			remaining = workUnits
+			tOne      float64
+			sprinting = m.wide
+			inSprint  float64
+			tNow      float64
+			peak      float64
+		)
+		for tNow < horizon && remaining > 0 {
+			active := 1.0
+			if sprinting {
+				active = cores
+			}
+			m.stack.Step(dt, active*corePower)
+			if tj := m.stack.JunctionC(); tj > peak {
+				peak = tj
+			}
+			did := active * unitRate * dt
+			if did > remaining {
+				did = remaining
+			}
+			remaining -= did
+			if sprinting {
+				inSprint += did
+			}
+			tNow += dt
+			if sprinting && m.stack.OverLimit() {
+				sprinting = false
+				tOne = tNow
+			}
+		}
+		done = tNow
+		oneStr := "-"
+		if tOne > 0 {
+			oneStr = table.F(tOne, 3)
+		}
+		t.AddRow(m.name, table.F(done, 3), oneStr, table.F(peak, 3),
+			table.F(100*inSprint/workUnits, 3))
+	}
+	t.Caption = "fixed 10 G-unit task; the PCM-augmented sprint completes far more work before t_one"
+	return []*table.Table{t}, nil
+}
+
+// Fig3 renders the Figure 3(c/d) PCM-augmented thermal stack as its
+// thermal-equivalent circuit, with the figure's annotated quantities.
+func Fig3(Options) ([]*table.Table, error) {
+	cfg := thermal.DefaultStackConfig()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := table.New("Figure 3: thermal-equivalent circuit (PCM-augmented stack)",
+		"element", "value")
+	for _, row := range cfg.Summary() {
+		t.AddRow(row[0], row[1])
+	}
+	t.Caption = "annotations per Fig 3(d): (1) PCM capacity sets sprint compute, " +
+		"(2) resistance into the PCM bounds sprint power, (3) PCM→ambient path governs cooldown"
+	return []*table.Table{t}, nil
+}
+
+// Fig4a regenerates Figure 4(a): the 16 W sprint-initiation transient on
+// the 1 W-TDP stack.
+func Fig4a(Options) ([]*table.Table, error) {
+	cfg := thermal.DefaultStackConfig()
+	res := thermal.SimulateSprint(cfg, 16, 1e-4, 5)
+	t := table.New("Figure 4(a): sprint initiation (16 W on 1 W TDP, 150 mg PCM)",
+		"quantity", "measured", "paper")
+	t.AddRow("melt start t_melt (s)", table.F(res.MeltStartS, 3), "early rise then plateau")
+	t.AddRow("melt complete t_melted (s)", table.F(res.MeltEndS, 3), "-")
+	t.AddRow("plateau duration (s)", table.F(res.PlateauS, 3), "≈0.95")
+	t.AddRow("sprint duration t_one (s)", table.F(res.SprintEndS, 3), "a little over 1")
+	t.AddRow("peak junction (C)", table.F(res.MaxJunctionC, 3), "70 (Tjmax)")
+	t.AddRow("plateau junction (C)",
+		table.F(res.Junction.ValueAt((res.MeltStartS+res.MeltEndS)/2), 3),
+		"Tmelt + P·R ≈ 65.6")
+	return []*table.Table{t}, nil
+}
+
+// Fig4b regenerates Figure 4(b): the post-sprint cooldown.
+func Fig4b(Options) ([]*table.Table, error) {
+	cfg := thermal.DefaultStackConfig()
+	res := thermal.SimulateCooldown(cfg, 16, 0, 1e-3, 5, 120, 3)
+	t := table.New("Figure 4(b): post-sprint cooldown", "quantity", "measured", "paper")
+	t.AddRow("refreeze start t_freeze (s)", table.F(res.FreezeStartS, 3), "shortly after idle")
+	t.AddRow("refreeze complete t_frozen (s)", table.F(res.FreezeEndS, 3), "≈ sprint × power ratio")
+	near := "-"
+	if res.NearOK {
+		near = table.F(res.NearAmbientS, 3)
+	}
+	t.AddRow("near ambient (within 3C) (s)", near, "≈24")
+	t.AddRow("rule-of-thumb cooldown (s)",
+		table.F(thermal.ApproxCooldownS(1.2, 16, 1), 3), "sprint × P_sprint/TDP")
+	return []*table.Table{t}, nil
+}
+
+// SprintTraces exposes the Figure 4 time series for CSV export by the
+// thermalsim command.
+func SprintTraces() (sprint thermal.SprintTransient, cooldown thermal.CooldownTransient) {
+	cfg := thermal.DefaultStackConfig()
+	return thermal.SimulateSprint(cfg, 16, 1e-4, 5),
+		thermal.SimulateCooldown(cfg, 16, 0, 1e-3, 5, 120, 3)
+}
+
+// fmtMilli formats seconds as milliseconds.
+func fmtMilli(s float64) string { return fmt.Sprintf("%.2f ms", s*1e3) }

@@ -1,0 +1,192 @@
+// Package governor implements the §7 activity-based sprint management the
+// paper's runtime relies on between sprints: instead of waiting for a
+// thermal emergency, the hardware monitors energy dissipated since sprint
+// initiation against a model-derived budget, decides whether a requested
+// sprint may start, at what intensity, and how long the system must cool
+// before the next full-intensity sprint.
+//
+// The governor is the piece a product integration would sit on top of: the
+// UI asks "can I sprint now, and for how long?" before launching a burst,
+// and reports actual energy afterwards so the budget tracks reality (the
+// paper's dynamic thermal management framing, cf. Brooks & Martonosi).
+package governor
+
+import (
+	"fmt"
+	"math"
+
+	"sprinting/internal/thermal"
+)
+
+// Config parameterizes the governor.
+type Config struct {
+	// Design is the thermal stack whose budget is being managed.
+	Design thermal.StackConfig
+	// SprintPowerW is the full-intensity sprint power (16 W).
+	SprintPowerW float64
+	// NominalPowerW is the sustained power (≈1 W); the budget refills at
+	// the rate the package drains heat beyond it.
+	NominalPowerW float64
+	// SafetyFrac holds back a fraction of the theoretical budget
+	// (activity-based estimates are approximate; the §7 hardware throttle
+	// remains the backstop).
+	SafetyFrac float64
+}
+
+// DefaultConfig returns the paper's 16 W / 1 W platform with a 10% guard
+// band.
+func DefaultConfig() Config {
+	return Config{
+		Design:        thermal.DefaultStackConfig(),
+		SprintPowerW:  16,
+		NominalPowerW: 1,
+		SafetyFrac:    0.10,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.SprintPowerW <= 0:
+		return fmt.Errorf("governor: sprint power must be positive")
+	case c.NominalPowerW < 0 || c.NominalPowerW >= c.SprintPowerW:
+		return fmt.Errorf("governor: nominal power must be in [0, sprint)")
+	case c.SafetyFrac < 0 || c.SafetyFrac >= 1:
+		return fmt.Errorf("governor: safety fraction must be in [0, 1)")
+	}
+	return c.Design.Validate()
+}
+
+// Governor tracks the remaining sprint energy budget over time.
+type Governor struct {
+	cfg Config
+
+	// capacityJ is the usable (guard-banded) sprint energy budget.
+	capacityJ float64
+	// storedJ is the heat currently parked in the package above ambient
+	// (0 = fully cooled, capacityJ = exhausted).
+	storedJ float64
+	// drainW is the rate heat leaves the package toward ambient while not
+	// sprinting.
+	drainW float64
+	// nowS is the governor's clock.
+	nowS float64
+}
+
+// New builds a governor; it panics on an invalid configuration (callers
+// validate user-supplied configs first).
+func New(cfg Config) *Governor {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cap := thermal.SprintEnergyBudgetJ(cfg.Design, cfg.SprintPowerW) * (1 - cfg.SafetyFrac)
+	// While idle (or at nominal), the package sheds heat at roughly the
+	// sustainable power; the §4.5 rule of thumb (cooldown = sprint ×
+	// power ratio) follows from exactly this rate.
+	drain := cfg.Design.SustainedPowerBudgetW()
+	return &Governor{cfg: cfg, capacityJ: cap, drainW: drain}
+}
+
+// CapacityJ returns the usable sprint budget in joules.
+func (g *Governor) CapacityJ() float64 { return g.capacityJ }
+
+// RemainingJ returns the currently available sprint energy.
+func (g *Governor) RemainingJ() float64 { return g.capacityJ - g.storedJ }
+
+// Now returns the governor's clock in seconds.
+func (g *Governor) Now() float64 { return g.nowS }
+
+// MaxSprintS returns how long a sprint at powerW could run right now
+// before exhausting the remaining budget (∞ if powerW is sustainable).
+func (g *Governor) MaxSprintS(powerW float64) float64 {
+	net := powerW - g.drainW
+	if net <= 0 {
+		return math.Inf(1)
+	}
+	return g.RemainingJ() / net
+}
+
+// CanSprint reports whether a sprint of the given power and duration fits
+// the remaining budget.
+func (g *Governor) CanSprint(powerW, durationS float64) bool {
+	if powerW <= 0 || durationS <= 0 {
+		return false
+	}
+	return durationS <= g.MaxSprintS(powerW)
+}
+
+// MaxIntensityW returns the highest sprint power that can run for
+// durationS within the remaining budget (at least the nominal power).
+func (g *Governor) MaxIntensityW(durationS float64) float64 {
+	if durationS <= 0 {
+		return g.cfg.SprintPowerW
+	}
+	p := g.RemainingJ()/durationS + g.drainW
+	return math.Min(math.Max(p, g.cfg.NominalPowerW), g.cfg.SprintPowerW)
+}
+
+// RecordSprint charges an executed burst against the budget and advances
+// the clock. It reports the budget actually consumed.
+func (g *Governor) RecordSprint(powerW, durationS float64) float64 {
+	if powerW <= 0 || durationS <= 0 {
+		return 0
+	}
+	net := (powerW - g.drainW) * durationS
+	if net < 0 {
+		net = 0
+	}
+	g.storedJ = math.Min(g.capacityJ, g.storedJ+net)
+	g.nowS += durationS
+	return net
+}
+
+// Idle advances the clock with the system at or below nominal power,
+// refilling the budget at the drain rate.
+func (g *Governor) Idle(durationS float64) {
+	if durationS <= 0 {
+		return
+	}
+	g.storedJ = math.Max(0, g.storedJ-g.drainW*durationS)
+	g.nowS += durationS
+}
+
+// TimeToFullS returns how long the system must idle before the full budget
+// is available again (the user-facing "when can I sprint at full intensity
+// for the full duration" question; §4.5's cooldown).
+func (g *Governor) TimeToFullS() float64 {
+	if g.drainW <= 0 {
+		return math.Inf(1)
+	}
+	return g.storedJ / g.drainW
+}
+
+// TimeUntilSprintS returns the idle time needed before a sprint of the
+// given power and duration fits the budget (0 if it fits now).
+func (g *Governor) TimeUntilSprintS(powerW, durationS float64) float64 {
+	if powerW <= 0 || durationS <= 0 {
+		return 0
+	}
+	net := powerW - g.drainW
+	if net <= 0 {
+		return 0
+	}
+	needJ := net * durationS
+	if needJ > g.capacityJ {
+		return math.Inf(1) // never: the burst exceeds the whole budget
+	}
+	deficit := needJ - g.RemainingJ()
+	if deficit <= 0 {
+		return 0
+	}
+	return deficit / g.drainW
+}
+
+// DutyCycle returns the long-run sustainable fraction of time the system
+// can spend sprinting at powerW: the §3 observation that sprinting shifts
+// TDP budget rather than creating it.
+func (g *Governor) DutyCycle(powerW float64) float64 {
+	if powerW <= g.drainW {
+		return 1
+	}
+	return g.drainW / powerW
+}

@@ -1,0 +1,201 @@
+package governor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sprinting/internal/thermal"
+)
+
+func newGov(t *testing.T) *Governor {
+	t.Helper()
+	return New(DefaultConfig())
+}
+
+func TestFreshBudgetCoversOneSecondSprint(t *testing.T) {
+	g := newGov(t)
+	// The design point: a 16 W sprint for ≈1 s from cold.
+	if !g.CanSprint(16, 1.0) {
+		t.Errorf("fresh governor should allow a 16 W × 1 s sprint (max %.2f s)", g.MaxSprintS(16))
+	}
+	if g.CanSprint(16, 3.0) {
+		t.Error("a 3 s full sprint should exceed the budget")
+	}
+}
+
+func TestSustainablePowerIsUnlimited(t *testing.T) {
+	g := newGov(t)
+	if !math.IsInf(g.MaxSprintS(0.5), 1) {
+		t.Error("sub-TDP power should be sustainable indefinitely")
+	}
+	if g.DutyCycle(0.5) != 1 {
+		t.Error("sub-TDP duty cycle should be 1")
+	}
+}
+
+func TestRecordSprintDrainsBudget(t *testing.T) {
+	g := newGov(t)
+	before := g.RemainingJ()
+	used := g.RecordSprint(16, 0.5)
+	if used <= 0 {
+		t.Fatal("sprint should consume budget")
+	}
+	if got := g.RemainingJ(); math.Abs(before-used-got) > 1e-9 {
+		t.Errorf("budget accounting inconsistent: %v - %v != %v", before, used, got)
+	}
+	if g.Now() != 0.5 {
+		t.Errorf("clock = %v, want 0.5", g.Now())
+	}
+}
+
+func TestIdleRefills(t *testing.T) {
+	g := newGov(t)
+	g.RecordSprint(16, 1.0)
+	low := g.RemainingJ()
+	g.Idle(5)
+	if g.RemainingJ() <= low {
+		t.Error("idling should refill the budget")
+	}
+	g.Idle(1e6)
+	if math.Abs(g.RemainingJ()-g.CapacityJ()) > 1e-9 {
+		t.Error("long idle should fully refill")
+	}
+}
+
+func TestCooldownMatchesRuleOfThumb(t *testing.T) {
+	// §4.5: cooldown ≈ sprint duration × (sprint power / TDP).
+	g := newGov(t)
+	g.RecordSprint(16, 1.0)
+	want := thermal.ApproxCooldownS(1.0, 16-1, 1) // net heat over drain rate
+	got := g.TimeToFullS()
+	if got < want*0.5 || got > want*1.5 {
+		t.Errorf("time to full = %.1f s, rule of thumb ≈ %.1f s", got, want)
+	}
+}
+
+func TestTimeUntilSprint(t *testing.T) {
+	g := newGov(t)
+	if got := g.TimeUntilSprintS(16, 0.5); got != 0 {
+		t.Errorf("fresh budget should allow immediately, got %v s", got)
+	}
+	g.RecordSprint(16, 1.2) // drain most of it
+	wait := g.TimeUntilSprintS(16, 1.0)
+	if wait <= 0 {
+		t.Fatal("depleted budget should require waiting")
+	}
+	g.Idle(wait + 1e-9)
+	if !g.CanSprint(16, 1.0) {
+		t.Error("after the computed wait the sprint should fit")
+	}
+	if !math.IsInf(g.TimeUntilSprintS(16, 100), 1) {
+		t.Error("a burst larger than the whole budget can never fit")
+	}
+}
+
+func TestMaxIntensityScalesWithDuration(t *testing.T) {
+	g := newGov(t)
+	short := g.MaxIntensityW(0.1)
+	long := g.MaxIntensityW(10)
+	if short < long {
+		t.Errorf("shorter bursts should allow higher intensity: %.1f vs %.1f", short, long)
+	}
+	if short > g.cfg.SprintPowerW {
+		t.Errorf("intensity must cap at the platform's %.0f W", g.cfg.SprintPowerW)
+	}
+	if long < g.cfg.NominalPowerW {
+		t.Errorf("intensity floor is nominal power, got %.2f", long)
+	}
+}
+
+func TestDutyCycle(t *testing.T) {
+	g := newGov(t)
+	dc := g.DutyCycle(16)
+	// 1 W drain against 16 W sprint ⇒ ≈1/16 duty cycle (§3).
+	if dc < 0.04 || dc > 0.09 {
+		t.Errorf("duty cycle at 16 W = %.3f, want ≈1/16", dc)
+	}
+}
+
+func TestSafetyFracHoldsBack(t *testing.T) {
+	loose := DefaultConfig()
+	loose.SafetyFrac = 0
+	tight := DefaultConfig()
+	tight.SafetyFrac = 0.5
+	if New(tight).CapacityJ() >= New(loose).CapacityJ() {
+		t.Error("larger guard band must shrink the usable budget")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.SprintPowerW = 0 },
+		func(c *Config) { c.NominalPowerW = -1 },
+		func(c *Config) { c.NominalPowerW = c.SprintPowerW },
+		func(c *Config) { c.SafetyFrac = 1 },
+		func(c *Config) { c.Design.PCMMassG = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// Property: the budget is conserved under any interleaving of sprints and
+// idles — RemainingJ stays within [0, capacity].
+func TestBudgetBoundsProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		g := New(DefaultConfig())
+		for _, op := range ops {
+			d := float64(op%50)/100 + 0.01
+			if op%2 == 0 {
+				g.RecordSprint(16, d)
+			} else {
+				g.Idle(d)
+			}
+			r := g.RemainingJ()
+			if r < -1e-9 || r > g.CapacityJ()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CanSprint is consistent with MaxSprintS.
+func TestCanSprintConsistency(t *testing.T) {
+	f := func(powRaw, durRaw float64) bool {
+		p := math.Mod(math.Abs(powRaw), 32) + 0.1
+		d := math.Mod(math.Abs(durRaw), 5) + 0.001
+		g := New(DefaultConfig())
+		can := g.CanSprint(p, d)
+		max := g.MaxSprintS(p)
+		return can == (d <= max)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	g := newGov(t)
+	if g.RecordSprint(-1, 1) != 0 || g.RecordSprint(16, -1) != 0 {
+		t.Error("invalid sprints should consume nothing")
+	}
+	g.Idle(-5)
+	if g.Now() != 0 {
+		t.Error("negative idle should not move the clock")
+	}
+	if g.CanSprint(0, 1) || g.CanSprint(16, 0) {
+		t.Error("degenerate demands should be rejected")
+	}
+	if g.TimeUntilSprintS(0, 1) != 0 {
+		t.Error("degenerate demand needs no wait")
+	}
+}

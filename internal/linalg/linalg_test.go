@@ -1,0 +1,177 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveIdentity(t *testing.T) {
+	n := 4
+	a := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+	}
+	b := []float64{1, 2, 3, 4}
+	x, err := SolveDense(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if x[i] != b[i] {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], b[i])
+		}
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+	a := NewMatrix(2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := SolveDense(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveRequiresPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := NewMatrix(2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := SolveDense(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := SolveDense(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected singular matrix error")
+	}
+}
+
+func TestDeterminant(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 3)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 4)
+	a.Set(1, 1, 2)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d-2) > 1e-12 {
+		t.Errorf("det = %v, want 2", d)
+	}
+}
+
+// TestResidualRandom is the property-based check: for random diagonally
+// dominant systems, the solve residual ‖Ax−b‖∞ is tiny relative to ‖b‖∞.
+func TestResidualRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		a := NewMatrix(n)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				v := r.NormFloat64()
+				a.Set(i, j, v)
+				rowSum += math.Abs(v)
+			}
+			a.Set(i, i, rowSum+1+r.Float64()) // diagonally dominant → nonsingular
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64() * 10
+		}
+		x, err := SolveDense(a, b)
+		if err != nil {
+			return false
+		}
+		ax := make([]float64, n)
+		a.MulVec(x, ax)
+		maxRes, maxB := 0.0, 0.0
+		for i := range b {
+			maxRes = math.Max(maxRes, math.Abs(ax[i]-b[i]))
+			maxB = math.Max(maxB, math.Abs(b[i]))
+		}
+		return maxRes <= 1e-9*math.Max(1, maxB)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveReuseFactorization(t *testing.T) {
+	a := NewMatrix(3)
+	vals := [][]float64{{4, 1, 0}, {1, 5, 2}, {0, 2, 6}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		b := []float64{float64(trial + 1), float64(2 * trial), 1}
+		x := make([]float64, 3)
+		f.Solve(b, x)
+		ax := make([]float64, 3)
+		a.MulVec(x, ax)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-10 {
+				t.Errorf("trial %d: residual %v at row %d", trial, ax[i]-b[i], i)
+			}
+		}
+	}
+}
+
+func TestSolveAliasing(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 2)
+	a.Set(1, 1, 4)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{2, 8}
+	f.Solve(v, v) // b and x alias
+	if v[0] != 1 || v[1] != 2 {
+		t.Errorf("aliased solve = %v, want [1 2]", v)
+	}
+}
+
+func TestNewMatrixPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero-size matrix")
+		}
+	}()
+	NewMatrix(0)
+}

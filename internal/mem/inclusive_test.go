@@ -1,0 +1,107 @@
+package mem
+
+import (
+	"testing"
+)
+
+// TestBackInvalidation: the LLC is inclusive — evicting an LLC line must
+// kill any L1 copies of it (otherwise the directory loses track of
+// sharers).
+func TestBackInvalidation(t *testing.T) {
+	cfg := DefaultConfig()
+	// Shrink the LLC so one set overflows quickly: 2 ways, 64 sets.
+	cfg.LLCBytes = 2 * 64 * cfg.LineBytes
+	cfg.LLCWays = 2
+	h, err := New(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llcSetStride := uint64(h.llcSets * cfg.LineBytes)
+	base := uint64(0x100000)
+	// Core 0 caches line A (also in its L1).
+	h.Access(0, base, false, 0)
+	// Fill the same LLC set with enough distinct lines to evict A.
+	for i := 1; i <= cfg.LLCWays; i++ {
+		h.Access(1, base+uint64(i)*llcSetStride, false, 100)
+	}
+	// A must now miss in core 0's L1 (back-invalidated), not silently hit.
+	_, level := h.Access(0, base, false, 200)
+	if level == LevelL1 {
+		t.Fatal("L1 copy survived LLC eviction; inclusivity violated")
+	}
+	if err := h.CheckCoherenceInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirtyEvictionWritesBack: a modified L1 line evicted by capacity
+// marks the LLC line dirty (write-back, not write-through).
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	h, err := New(DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := uint64(h.l1Sets * h.cfg.LineBytes)
+	base := uint64(0x200000)
+	h.Access(0, base, true, 0) // dirty in L1
+	wb := h.Stats.Writebacks
+	for i := 1; i <= h.cfg.L1Ways; i++ {
+		h.Access(0, base+uint64(i)*stride, false, 100)
+	}
+	if h.Stats.Writebacks <= wb {
+		t.Error("dirty L1 eviction did not write back")
+	}
+	e := h.findLLC(base >> h.lineShift)
+	if e == nil || !e.dirty {
+		t.Error("LLC line not marked dirty after write-back")
+	}
+}
+
+// TestSharerBitsTracked: the directory's sharer mask matches which cores
+// actually hold the line.
+func TestSharerBitsTracked(t *testing.T) {
+	h, err := New(DefaultConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := uint64(0x300000)
+	for _, c := range []int{0, 3, 5} {
+		h.Access(c, addr, false, 0)
+	}
+	e := h.findLLC(addr >> h.lineShift)
+	if e == nil {
+		t.Fatal("line not in LLC")
+	}
+	want := uint64(1<<0 | 1<<3 | 1<<5)
+	if e.sharers != want {
+		t.Errorf("sharers = %b, want %b", e.sharers, want)
+	}
+	// A write by core 3 collapses the mask to core 3 alone.
+	h.Access(3, addr, true, 100)
+	if e.sharers != 1<<3 || e.owner != 3 {
+		t.Errorf("after write: sharers=%b owner=%d, want core 3 exclusive", e.sharers, e.owner)
+	}
+}
+
+// TestChannelParallelism: two channels service a burst roughly twice as
+// fast as one.
+func TestChannelParallelism(t *testing.T) {
+	run := func(channels int) uint64 {
+		cfg := DefaultConfig()
+		cfg.MemChannels = channels
+		h, err := New(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last uint64
+		for i := 0; i < 128; i++ {
+			last, _ = h.Access(0, uint64(0x400000)+uint64(i)*4096, false, 0)
+		}
+		return last
+	}
+	one := run(1)
+	two := run(2)
+	if two >= one {
+		t.Errorf("2 channels should cut burst queueing: %d vs %d ps", two, one)
+	}
+}

@@ -1,0 +1,273 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newHier(t *testing.T, cores int) *Hierarchy {
+	t.Helper()
+	h, err := New(DefaultConfig(), cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := newHier(t, 1)
+	lat, level := h.Access(0, 0x1000, false, 0)
+	if level != LevelDRAM {
+		t.Errorf("cold access level = %v, want DRAM", level)
+	}
+	if lat < h.cfg.MemLatencyPs {
+		t.Errorf("cold miss latency %d < memory latency", lat)
+	}
+	lat, level = h.Access(0, 0x1000, false, 1000)
+	if level != LevelL1 || lat != 0 {
+		t.Errorf("second access = (%d, %v), want L1 hit with 0 latency", lat, level)
+	}
+	if h.Stats.L1Hits != 1 || h.Stats.L1Misses != 1 || h.Stats.LLCMisses != 1 {
+		t.Errorf("stats = %+v", h.Stats)
+	}
+}
+
+func TestSameLineDifferentWordHits(t *testing.T) {
+	h := newHier(t, 1)
+	h.Access(0, 0x1000, false, 0)
+	lat, level := h.Access(0, 0x1020, false, 100) // same 64B line
+	if level != LevelL1 || lat != 0 {
+		t.Errorf("same-line access missed: (%d, %v)", lat, level)
+	}
+}
+
+func TestLLCHitAfterL1Eviction(t *testing.T) {
+	h := newHier(t, 1)
+	cfg := h.cfg
+	// Fill one L1 set beyond its ways with lines mapping to the same set;
+	// stride = l1Sets * lineBytes.
+	stride := uint64(h.l1Sets * cfg.LineBytes)
+	base := uint64(0x100000)
+	for i := 0; i <= cfg.L1Ways; i++ {
+		h.Access(0, base+uint64(i)*stride, false, 0)
+	}
+	// The first line is evicted from L1 but still in the (larger) LLC.
+	lat, level := h.Access(0, base, false, 0)
+	if level != LevelLLC {
+		t.Errorf("evicted line refetch level = %v, want LLC", level)
+	}
+	if lat != cfg.LLCHitPs {
+		t.Errorf("LLC hit latency = %d, want %d", lat, cfg.LLCHitPs)
+	}
+}
+
+func TestCoherenceReadSharedThenWriteInvalidates(t *testing.T) {
+	h := newHier(t, 4)
+	addr := uint64(0x2000)
+	for c := 0; c < 4; c++ {
+		h.Access(c, addr, false, 0)
+	}
+	inv := h.Stats.Invalidations
+	// Core 0 writes: the three other sharers must invalidate.
+	lat, _ := h.Access(0, addr, true, 100)
+	if lat == 0 {
+		t.Error("upgrade must cost coherence latency")
+	}
+	if got := h.Stats.Invalidations - inv; got != 3 {
+		t.Errorf("invalidations = %d, want 3", got)
+	}
+	// Core 1 rereading now misses in L1 and pays a dirty-transfer penalty.
+	lat, level := h.Access(1, addr, false, 200)
+	if level == LevelL1 {
+		t.Error("invalidated copy must not hit in L1")
+	}
+	if lat < h.cfg.LLCHitPs+h.cfg.CoherencePs {
+		t.Errorf("dirty remote hit latency = %d, want ≥ %d", lat, h.cfg.LLCHitPs+h.cfg.CoherencePs)
+	}
+	if err := h.CheckCoherenceInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteWriteMigration(t *testing.T) {
+	h := newHier(t, 2)
+	addr := uint64(0x3000)
+	h.Access(0, addr, true, 0)
+	h.Access(1, addr, true, 100) // must invalidate core 0's modified copy
+	if err := h.CheckCoherenceInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	// Core 0 rereads: miss.
+	_, level := h.Access(0, addr, false, 200)
+	if level == LevelL1 {
+		t.Error("core 0 should have lost the line")
+	}
+}
+
+func TestBandwidthQueueing(t *testing.T) {
+	h := newHier(t, 1)
+	// Stream far more lines than the channels can absorb instantly at one
+	// instant; later requests must queue.
+	var first, last uint64
+	for i := 0; i < 64; i++ {
+		lat, _ := h.Access(0, uint64(0x100000)+uint64(i)*4096, false, 0)
+		if i == 0 {
+			first = lat
+		}
+		last = lat
+	}
+	if last <= first {
+		t.Errorf("no queueing under burst: first %d, last %d", first, last)
+	}
+	if h.Stats.DRAMQueuePs == 0 {
+		t.Error("queueing delay not recorded")
+	}
+	if h.Stats.DRAMBytes != 64*64 {
+		t.Errorf("DRAM bytes = %d, want %d", h.Stats.DRAMBytes, 64*64)
+	}
+}
+
+func TestDoubleBandwidthHalvesQueueing(t *testing.T) {
+	run := func(bw float64) uint64 {
+		cfg := DefaultConfig()
+		cfg.ChannelBytesPerSec = bw
+		h, err := New(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 256; i++ {
+			h.Access(0, uint64(0x100000)+uint64(i)*4096, false, 0)
+		}
+		return h.Stats.DRAMQueuePs
+	}
+	q1 := run(4e9)
+	q2 := run(8e9)
+	if q2 >= q1 {
+		t.Errorf("doubling bandwidth did not reduce queueing: %d -> %d", q1, q2)
+	}
+}
+
+func TestFlushL1(t *testing.T) {
+	h := newHier(t, 2)
+	h.Access(0, 0x4000, true, 0)
+	h.FlushL1(0)
+	_, level := h.Access(0, 0x4000, false, 100)
+	if level == LevelL1 {
+		t.Error("flushed line must not hit in L1")
+	}
+	if level != LevelLLC {
+		t.Errorf("flushed dirty line should be in LLC, got %v", level)
+	}
+	if err := h.CheckCoherenceInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	h := newHier(t, 1)
+	stride := uint64(h.l1Sets * h.cfg.LineBytes)
+	base := uint64(0x200000)
+	// Fill all ways.
+	for i := 0; i < h.cfg.L1Ways; i++ {
+		h.Access(0, base+uint64(i)*stride, false, 0)
+	}
+	// Touch way 0 so it is most recent.
+	h.Access(0, base, false, 0)
+	// Insert a new line: way 1 (LRU) must be the victim, not way 0.
+	h.Access(0, base+uint64(h.cfg.L1Ways)*stride, false, 0)
+	if _, level := h.Access(0, base, false, 0); level != LevelL1 {
+		t.Error("MRU line was evicted; LRU policy broken")
+	}
+	if _, level := h.Access(0, base+stride, false, 0); level == LevelL1 {
+		t.Error("LRU line survived; LRU policy broken")
+	}
+}
+
+// TestCoherencePropertyRandom drives random sharing patterns and checks the
+// single-writer/multi-reader invariant plus LLC inclusivity after every
+// few operations.
+func TestCoherencePropertyRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, err := New(DefaultConfig(), 8)
+		if err != nil {
+			return false
+		}
+		// A small set of hot lines maximizes coherence churn.
+		lines := make([]uint64, 32)
+		for i := range lines {
+			lines[i] = uint64(0x10000 + i*64)
+		}
+		for op := 0; op < 3000; op++ {
+			core := rng.Intn(8)
+			addr := lines[rng.Intn(len(lines))] + uint64(rng.Intn(16))*4
+			h.Access(core, addr, rng.Intn(3) == 0, uint64(op)*100)
+			if op%257 == 0 {
+				if err := h.CheckCoherenceInvariant(); err != nil {
+					t.Logf("seed %d: %v", seed, err)
+					return false
+				}
+			}
+		}
+		return h.CheckCoherenceInvariant() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.LineBytes = 48 },
+		func(c *Config) { c.L1Bytes = 1000 },
+		func(c *Config) { c.LLCWays = 0 },
+		func(c *Config) { c.MemChannels = 0 },
+		func(c *Config) { c.ChannelBytesPerSec = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestCoreCountBounds(t *testing.T) {
+	if _, err := New(DefaultConfig(), 0); err == nil {
+		t.Error("0 cores should fail")
+	}
+	if _, err := New(DefaultConfig(), 65); err == nil {
+		t.Error("65 cores should fail (64-bit sharer mask)")
+	}
+	if _, err := New(DefaultConfig(), 64); err != nil {
+		t.Errorf("64 cores should work: %v", err)
+	}
+}
+
+func TestResetChannels(t *testing.T) {
+	h := newHier(t, 1)
+	for i := 0; i < 16; i++ {
+		h.Access(0, uint64(0x100000)+uint64(i)*4096, false, 0)
+	}
+	h.ResetChannels()
+	lat, _ := h.Access(0, 0x900000, false, 0)
+	if lat > h.cfg.LLCHitPs+h.cfg.MemLatencyPs+h.linePs {
+		t.Errorf("after reset, access should be uncontended: %d", lat)
+	}
+}
+
+func TestGeometryDerivation(t *testing.T) {
+	h := newHier(t, 1)
+	if h.l1Sets*h.cfg.L1Ways*h.cfg.LineBytes != h.cfg.L1Bytes {
+		t.Error("L1 geometry inconsistent")
+	}
+	if h.llcSets*h.cfg.LLCWays*h.cfg.LineBytes != h.cfg.LLCBytes {
+		t.Error("LLC geometry inconsistent")
+	}
+	// 4 GB/s channel at 64B lines: 16 ns per line.
+	if h.linePs != 16_000 {
+		t.Errorf("line service time = %d ps, want 16000", h.linePs)
+	}
+}

@@ -1,0 +1,186 @@
+package powersource
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPhoneLiIonLimitsSprinting(t *testing.T) {
+	// §6: a representative Li-Ion provides bursts of ~10 W (2.7 A at
+	// 3.7 V), limiting sprint intensity to fewer than ten 1 W cores.
+	p := PhoneLiIon.MaxPowerW()
+	if math.Abs(p-9.99) > 0.2 {
+		t.Errorf("phone Li-Ion max power = %.2f W, want ≈10", p)
+	}
+	if n := PhoneLiIon.MaxSprintCores(1.0); n >= 10 {
+		t.Errorf("phone battery supports %d 1W cores, paper says fewer than ten", n)
+	}
+	if PhoneLiIon.CanSupply(16) {
+		t.Error("phone battery must not sustain a 16 W sprint alone")
+	}
+}
+
+func TestLiPoMeetsSprintDemand(t *testing.T) {
+	// §6: the Dualsky Li-Po (43 A at 7 V) easily meets 16×1 W.
+	if got := DualskyLiPo.MaxPowerW(); got < 300 {
+		t.Errorf("Li-Po max power = %.0f W, want ≈301", got)
+	}
+	if !DualskyLiPo.CanSupply(16) {
+		t.Error("Li-Po must supply a 16 W sprint")
+	}
+	if DualskyLiPo.MassG > 60 {
+		t.Errorf("Li-Po mass %v g exceeds the cited 51 g part", DualskyLiPo.MassG)
+	}
+}
+
+func TestUltracapEnergyAndPower(t *testing.T) {
+	u := NesscapUltracap
+	// Physical stored energy ½CV² = 91 J (the paper's 182 J figure is CV²;
+	// see doc comment).
+	if got := u.StoredEnergyJ(); math.Abs(got-91.1) > 0.5 {
+		t.Errorf("stored energy = %.1f J, want ≈91", got)
+	}
+	if got := u.MaxPowerW(); math.Abs(got-54) > 0.1 {
+		t.Errorf("peak power = %.1f W, want 54 (20 A at 2.7 V)", got)
+	}
+	if u.UsableEnergyJ() >= u.StoredEnergyJ() {
+		t.Error("usable energy must exclude the below-minimum band")
+	}
+	// The usable energy alone covers several 16 J sprints.
+	if u.UsableEnergyJ() < 3*16 {
+		t.Errorf("usable energy %.0f J should cover ≥3 sprints of 16 J", u.UsableEnergyJ())
+	}
+}
+
+func TestUltracapLeakageNegligible(t *testing.T) {
+	// §6: total leakage below 0.1 mA — under 25 J/day at rated voltage,
+	// which is small against ≈68 J usable.
+	perDay := NesscapUltracap.LeakageEnergyJPerDay()
+	if perDay > 25 {
+		t.Errorf("leakage = %.1f J/day, should be negligible", perDay)
+	}
+}
+
+func TestHybridSupplyCovers16WSprint(t *testing.T) {
+	h := NewHybridSupply()
+	r := h.Evaluate(SprintDemand{PowerW: 16, DurationS: 1, RailV: 1})
+	if !r.Feasible {
+		t.Fatalf("hybrid supply must cover a 16 W × 1 s sprint: %s", r.Reason)
+	}
+	if r.DeficitW <= 0 {
+		t.Error("16 W exceeds the phone battery: deficit must be positive")
+	}
+	if r.BatteryPowerW > PhoneLiIon.MaxPowerW() {
+		t.Error("battery share exceeds battery limit")
+	}
+}
+
+func TestHybridSupplyRejectsExcessive(t *testing.T) {
+	h := NewHybridSupply()
+	r := h.Evaluate(SprintDemand{PowerW: 80, DurationS: 1, RailV: 1})
+	if r.Feasible {
+		t.Error("80 W sprint should exceed the hybrid supply")
+	}
+	if r.Reason == "" {
+		t.Error("infeasible report must carry a reason")
+	}
+	if r2 := h.Evaluate(SprintDemand{PowerW: -1, DurationS: 1}); r2.Feasible {
+		t.Error("non-positive power must be rejected")
+	}
+}
+
+func TestHybridEnergyExhaustion(t *testing.T) {
+	h := NewHybridSupply()
+	// A very long burst drains the ultracap even at moderate deficit.
+	r := h.Evaluate(SprintDemand{PowerW: 16, DurationS: 30, RailV: 1})
+	if r.Feasible {
+		t.Error("a 30 s 16 W burst must exhaust the ultracapacitor")
+	}
+}
+
+func TestSprintsOnFullCharge(t *testing.T) {
+	h := NewHybridSupply()
+	n := h.SprintsOnFullCharge(SprintDemand{PowerW: 16, DurationS: 1, RailV: 1})
+	if n < 3 || n > 50 {
+		t.Errorf("sprints per charge = %d, want a handful to a few dozen", n)
+	}
+	// Demand the battery can serve alone → effectively unlimited.
+	if h.SprintsOnFullCharge(SprintDemand{PowerW: 5, DurationS: 1, RailV: 1}) != math.MaxInt32 {
+		t.Error("battery-only demand should not be ultracap-limited")
+	}
+}
+
+func TestPinBudgetMatchesPaper(t *testing.T) {
+	// §6: 16 A at 1 V with 100 mA per pin pair requires 320 pins.
+	b := PinsForSprint(16, 1.0, 0.1)
+	if b.PeakA != 16 {
+		t.Errorf("peak current = %v A, want 16", b.PeakA)
+	}
+	if b.TotalPins != 320 {
+		t.Errorf("total pins = %d, want 320", b.TotalPins)
+	}
+	// Both reference packages could physically accommodate 320 pins,
+	// at a significant fraction of their totals.
+	for _, p := range Packages() {
+		if b.TotalPins > p.Pins {
+			t.Logf("note: %s has %d pins, budget needs %d", p.Name, p.Pins, b.TotalPins)
+		}
+	}
+}
+
+func TestPinBudgetDegenerate(t *testing.T) {
+	if b := PinsForSprint(16, 0, 0.1); b.TotalPins != 0 {
+		t.Error("zero rail voltage should yield empty budget")
+	}
+	if b := PinsForSprint(16, 1, 0); b.TotalPins != 0 {
+		t.Error("zero per-pin current should yield empty budget")
+	}
+}
+
+// Property: raising rail voltage never increases the pin count.
+func TestPinBudgetMonotoneInVoltage(t *testing.T) {
+	f := func(rawV1, rawV2 float64) bool {
+		v1 := 0.5 + math.Mod(math.Abs(rawV1), 4)
+		v2 := 0.5 + math.Mod(math.Abs(rawV2), 4)
+		lo, hi := math.Min(v1, v2), math.Max(v1, v2)
+		bLo := PinsForSprint(16, lo, 0.1)
+		bHi := PinsForSprint(16, hi, 0.1)
+		return bHi.TotalPins <= bLo.TotalPins
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hybrid feasibility is monotone — if a demand is feasible, any
+// demand with lower power and shorter duration is feasible too.
+func TestHybridMonotoneProperty(t *testing.T) {
+	h := NewHybridSupply()
+	f := func(rawP, rawD float64) bool {
+		p := math.Mod(math.Abs(rawP), 60)
+		d := math.Mod(math.Abs(rawD), 5)
+		if p <= 0 || d <= 0 {
+			return true
+		}
+		r := h.Evaluate(SprintDemand{PowerW: p, DurationS: d, RailV: 1})
+		if !r.Feasible {
+			return true
+		}
+		r2 := h.Evaluate(SprintDemand{PowerW: p / 2, DurationS: d / 2, RailV: 1})
+		return r2.Feasible
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRechargeTime(t *testing.T) {
+	u := NesscapUltracap
+	if got := u.RechargeTimeS(16, 8); math.Abs(got-2) > 1e-12 {
+		t.Errorf("recharge time = %v s, want 2", got)
+	}
+	if !math.IsInf(u.RechargeTimeS(16, 0), 1) {
+		t.Error("zero charge power should be infinite recharge")
+	}
+}

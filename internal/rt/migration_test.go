@@ -1,0 +1,119 @@
+package rt
+
+import (
+	"testing"
+
+	"sprinting/internal/isa"
+)
+
+// TestMigrateToNonZeroTarget: the §7 protocol allows any surviving core,
+// not just core 0.
+func TestMigrateToNonZeroTarget(t *testing.T) {
+	tasks := []Task{}
+	for i := 0; i < 6; i++ {
+		tasks = append(tasks, mkTask("t", 5_000))
+	}
+	s := NewScheduler(mkProgram(tasks), 4)
+	buf := make([]isa.Instr, 8)
+	var executed uint64
+	count := func(n int) {
+		for _, in := range buf[:n] {
+			if in.Kind == isa.Compute {
+				executed += uint64(in.N)
+			}
+		}
+	}
+	for c := 0; c < 4; c++ {
+		n, _ := s.Next(c, buf)
+		count(n)
+	}
+	s.MigrateAll(2)
+	for _, c := range []int{0, 1, 3} {
+		if n, done := s.Next(c, buf); !done || n != 0 {
+			t.Fatalf("core %d should be done after migration to core 2", c)
+		}
+	}
+	for {
+		n, done := s.Next(2, buf)
+		if done {
+			break
+		}
+		count(n)
+	}
+	if executed != 30_000 {
+		t.Errorf("executed %d, want 30000", executed)
+	}
+}
+
+// TestDoubleMigrationIsIdempotent: migrating twice must not lose or
+// duplicate work.
+func TestDoubleMigrationIsIdempotent(t *testing.T) {
+	tasks := []Task{mkTask("a", 10_000), mkTask("b", 10_000)}
+	s := NewScheduler(mkProgram(tasks), 2)
+	buf := make([]isa.Instr, 4)
+	var executed uint64
+	count := func(n int) {
+		for _, in := range buf[:n] {
+			if in.Kind == isa.Compute {
+				executed += uint64(in.N)
+			}
+		}
+	}
+	n, _ := s.Next(0, buf)
+	count(n)
+	n, _ = s.Next(1, buf)
+	count(n)
+	s.MigrateAll(0)
+	s.MigrateAll(0)
+	for {
+		n, done := s.Next(0, buf)
+		if done {
+			break
+		}
+		count(n)
+	}
+	if executed != 20_000 {
+		t.Errorf("executed %d, want 20000", executed)
+	}
+}
+
+// TestMigrationWithPendingBarrier: migration while a phase barrier is
+// half-crossed must still complete all phases on the target.
+func TestMigrationWithPendingBarrier(t *testing.T) {
+	prog := mkProgram(
+		[]Task{mkTask("a", 3_000), mkTask("b", 50_000)},
+		[]Task{mkTask("c", 3_000)},
+	)
+	s := NewScheduler(prog, 2)
+	buf := make([]isa.Instr, 4)
+	var executed uint64
+	count := func(n int) {
+		for _, in := range buf[:n] {
+			if in.Kind == isa.Compute {
+				executed += uint64(in.N)
+			}
+		}
+	}
+	// Core 0 finishes the small task and hits the barrier (pauses); core 1
+	// is mid-way through the big one.
+	for i := 0; i < 3; i++ {
+		n, _ := s.Next(0, buf)
+		count(n)
+		n, _ = s.Next(1, buf)
+		count(n)
+	}
+	s.MigrateAll(0)
+	for {
+		n, done := s.Next(0, buf)
+		if done {
+			break
+		}
+		count(n)
+	}
+	if executed != 56_000 {
+		t.Errorf("executed %d compute ops, want 56000 (both phases complete)", executed)
+	}
+	if !s.Done() {
+		t.Error("scheduler should report done")
+	}
+}

@@ -1,0 +1,157 @@
+package scaling
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScenariosValid(t *testing.T) {
+	for _, s := range Scenarios() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	s := ITRS()
+	s.Vdd = s.Vdd[:3]
+	if s.Validate() == nil {
+		t.Error("short Vdd table should fail validation")
+	}
+	s2 := ITRS()
+	s2.DensityPerGen = 0
+	if s2.Validate() == nil {
+		t.Error("zero density multiplier should fail validation")
+	}
+	s3 := ITRS()
+	s3.Vdd = append([]float64(nil), s3.Vdd...)
+	s3.Vdd[2] = -1
+	if s3.Validate() == nil {
+		t.Error("negative Vdd should fail validation")
+	}
+}
+
+// TestFig1aPowerDensityRises: every scenario's power density increases
+// monotonically across generations, starting at 1.
+func TestFig1aPowerDensityRises(t *testing.T) {
+	for _, s := range Scenarios() {
+		pd := s.PowerDensity()
+		if pd[0] != 1 {
+			t.Errorf("%s: power density not normalized: %v", s.Name, pd[0])
+		}
+		for i := 1; i < len(pd); i++ {
+			if pd[i] <= pd[i-1] {
+				t.Errorf("%s: power density not increasing at %dnm: %v -> %v",
+					s.Name, Nodes[i], pd[i-1], pd[i])
+			}
+		}
+		// Figure 1(a) y-axis tops out at 16×; the worst curve lands in the
+		// upper half of that range by 6 nm.
+		last := pd[len(pd)-1]
+		if last < 1.5 || last > 16 {
+			t.Errorf("%s: 6nm power density = %.2f, want within Figure 1's 1.5–16× range", s.Name, last)
+		}
+	}
+}
+
+// TestFig1bScenarioOrdering: pessimistic voltage scaling gives the most
+// dark silicon; the optimistic ITRS roadmap the least.
+func TestFig1bScenarioOrdering(t *testing.T) {
+	itrs := ITRS().DarkSiliconPct()
+	borkar := Borkar().DarkSiliconPct()
+	worst := ITRSBorkarVdd().DarkSiliconPct()
+	last := len(Nodes) - 1
+	if !(itrs[last] < borkar[last] && borkar[last] < worst[last]) {
+		t.Errorf("6nm dark silicon ordering wrong: ITRS %.1f%%, Borkar %.1f%%, ITRS+BorkarVdd %.1f%%",
+			itrs[last], borkar[last], worst[last])
+	}
+}
+
+// TestDarkSiliconApproachesNinetyPct: under the pessimistic curve, dark
+// silicon approaches ~90% at end of roadmap — Mike Muller's "only 9% of
+// transistors active by 2019" claim quoted in §2.
+func TestDarkSiliconApproachesNinetyPct(t *testing.T) {
+	worst := ITRSBorkarVdd()
+	active, err := worst.ActivePctAtNode(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if active > 25 || active < 5 {
+		t.Errorf("6nm active fraction = %.1f%%, want ≈10–20%% (the dark-silicon regime)", active)
+	}
+	dark := worst.DarkSiliconPct()
+	if dark[len(dark)-1] < 75 {
+		t.Errorf("6nm dark silicon = %.1f%%, want ≥75%%", dark[len(dark)-1])
+	}
+}
+
+func TestDarkSiliconBounds(t *testing.T) {
+	for _, s := range Scenarios() {
+		for i, d := range s.DarkSiliconPct() {
+			if d < 0 || d >= 100 {
+				t.Errorf("%s node %d: dark %% out of range: %v", s.Name, Nodes[i], d)
+			}
+		}
+	}
+}
+
+func TestDarkSiliconAtFirstNodeZero(t *testing.T) {
+	for _, s := range Scenarios() {
+		if d := s.DarkSiliconPct()[0]; d != 0 {
+			t.Errorf("%s: 45nm chip should be fully lit, got %.1f%% dark", s.Name, d)
+		}
+	}
+}
+
+func TestActivePctUnknownNode(t *testing.T) {
+	if _, err := ITRS().ActivePctAtNode(7); err == nil {
+		t.Error("expected error for unknown node")
+	}
+}
+
+// TestVddSensitivity: scaling voltage harder strictly reduces power
+// density (the quadratic lever the paper highlights).
+func TestVddSensitivity(t *testing.T) {
+	base := Borkar()
+	aggressive := Borkar()
+	aggressive.Vdd = append([]float64(nil), base.Vdd...)
+	for i := range aggressive.Vdd {
+		if i > 0 {
+			aggressive.Vdd[i] *= 0.9
+		}
+	}
+	pdBase := base.PowerDensity()
+	pdAgg := aggressive.PowerDensity()
+	for i := 1; i < len(pdBase); i++ {
+		want := pdBase[i] * math.Pow(0.9, 2)
+		if math.Abs(pdAgg[i]-want) > 1e-9 {
+			t.Errorf("node %d: quadratic Vdd effect violated: %v vs %v", Nodes[i], pdAgg[i], want)
+		}
+	}
+}
+
+// TestMobileChipGap encodes the §2 observation: mobile SoCs have ~3× less
+// area than the desktop quad-core but more than an order of magnitude less
+// TDP.
+func TestMobileChipGap(t *testing.T) {
+	chips := ReferenceChips()
+	var mobileMaxTDP, desktopMinTDP float64 = 0, math.Inf(1)
+	var mobileMaxArea float64
+	var desktopQuadArea float64
+	for _, c := range chips {
+		if c.Mobile {
+			mobileMaxTDP = math.Max(mobileMaxTDP, c.TDPW)
+			mobileMaxArea = math.Max(mobileMaxArea, c.AreaMm2)
+		} else {
+			desktopMinTDP = math.Min(desktopMinTDP, c.TDPW)
+			desktopQuadArea = math.Max(desktopQuadArea, c.AreaMm2)
+		}
+	}
+	if desktopMinTDP/mobileMaxTDP < 4 {
+		t.Errorf("TDP gap %.1f× too small; paper reports an order of magnitude", desktopMinTDP/mobileMaxTDP)
+	}
+	if r := desktopQuadArea / mobileMaxArea; r < 1.5 || r > 5 {
+		t.Errorf("area ratio %.1f×, paper reports ≈3× (quad 216 mm² vs mobile ≈50–122 mm²)", r)
+	}
+}

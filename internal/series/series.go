@@ -1,0 +1,228 @@
+// Package series provides sampled time-series capture and the summary
+// metrics the experiment harness reports: extrema, settling time, plateau
+// detection, and aggregate statistics such as the geometric mean used for
+// cross-workload speedup averages.
+package series
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one sample of a scalar signal.
+type Point struct {
+	T float64 // time in seconds
+	V float64 // value in signal units
+}
+
+// Series is an append-only sampled signal. Samples must be appended in
+// non-decreasing time order.
+type Series struct {
+	Name   string
+	Unit   string
+	points []Point
+}
+
+// New returns an empty named series.
+func New(name, unit string) *Series {
+	return &Series{Name: name, Unit: unit}
+}
+
+// Append adds a sample. It panics if time regresses, because every producer
+// in this repository is a forward-time simulator and a regression indicates
+// a simulator bug.
+func (s *Series) Append(t, v float64) {
+	if n := len(s.points); n > 0 && t < s.points[n-1].T {
+		panic(fmt.Sprintf("series %q: time went backwards: %g after %g", s.Name, t, s.points[n-1].T))
+	}
+	s.points = append(s.points, Point{T: t, V: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.points) }
+
+// At returns the i-th sample.
+func (s *Series) At(i int) Point { return s.points[i] }
+
+// Points returns the underlying samples (shared, not copied).
+func (s *Series) Points() []Point { return s.points }
+
+// First and Last return the boundary samples; they panic on empty series.
+func (s *Series) First() Point { return s.points[0] }
+
+// Last returns the final sample; it panics on an empty series.
+func (s *Series) Last() Point { return s.points[len(s.points)-1] }
+
+// Min returns the minimum value and its time.
+func (s *Series) Min() (t, v float64) {
+	v = math.Inf(1)
+	for _, p := range s.points {
+		if p.V < v {
+			t, v = p.T, p.V
+		}
+	}
+	return t, v
+}
+
+// Max returns the maximum value and its time.
+func (s *Series) Max() (t, v float64) {
+	v = math.Inf(-1)
+	for _, p := range s.points {
+		if p.V > v {
+			t, v = p.T, p.V
+		}
+	}
+	return t, v
+}
+
+// ValueAt linearly interpolates the signal at time t, clamping beyond the
+// sampled range to the boundary values.
+func (s *Series) ValueAt(t float64) float64 {
+	n := len(s.points)
+	if n == 0 {
+		return math.NaN()
+	}
+	if t <= s.points[0].T {
+		return s.points[0].V
+	}
+	if t >= s.points[n-1].T {
+		return s.points[n-1].V
+	}
+	i := sort.Search(n, func(i int) bool { return s.points[i].T > t })
+	a, b := s.points[i-1], s.points[i]
+	if b.T == a.T {
+		return b.V
+	}
+	frac := (t - a.T) / (b.T - a.T)
+	return a.V + (b.V-a.V)*frac
+}
+
+// FirstCrossing returns the earliest time at which the signal reaches or
+// exceeds threshold (rising=true) or reaches or falls below it
+// (rising=false), with linear interpolation between samples. The boolean
+// reports whether a crossing exists.
+func (s *Series) FirstCrossing(threshold float64, rising bool) (float64, bool) {
+	for i, p := range s.points {
+		hit := p.V >= threshold
+		if !rising {
+			hit = p.V <= threshold
+		}
+		if !hit {
+			continue
+		}
+		if i == 0 {
+			return p.T, true
+		}
+		prev := s.points[i-1]
+		if prev.V == p.V {
+			return p.T, true
+		}
+		frac := (threshold - prev.V) / (p.V - prev.V)
+		if frac < 0 || frac > 1 || math.IsNaN(frac) {
+			return p.T, true
+		}
+		return prev.T + frac*(p.T-prev.T), true
+	}
+	return 0, false
+}
+
+// SettleTime returns the earliest time after which the signal stays within
+// ±band of the final sampled value until the end of the series. This is the
+// metric used for the §5 supply-voltage settling measurements.
+func (s *Series) SettleTime(band float64) (float64, bool) {
+	n := len(s.points)
+	if n == 0 {
+		return 0, false
+	}
+	final := s.points[n-1].V
+	settleIdx := 0
+	for i := n - 1; i >= 0; i-- {
+		if math.Abs(s.points[i].V-final) > band {
+			settleIdx = i + 1
+			break
+		}
+	}
+	if settleIdx >= n {
+		return 0, false
+	}
+	return s.points[settleIdx].T, true
+}
+
+// PlateauWithin returns the total time the signal spends within ±band of
+// level. The paper's Fig 4(a) melt plateau duration is measured this way.
+func (s *Series) PlateauWithin(level, band float64) float64 {
+	total := 0.0
+	for i := 1; i < len(s.points); i++ {
+		a, b := s.points[i-1], s.points[i]
+		inA := math.Abs(a.V-level) <= band
+		inB := math.Abs(b.V-level) <= band
+		if inA && inB {
+			total += b.T - a.T
+		}
+	}
+	return total
+}
+
+// Resample returns a new series sampled at uniform interval dt over the
+// original time span using linear interpolation.
+func (s *Series) Resample(dt float64) *Series {
+	out := New(s.Name, s.Unit)
+	if len(s.points) == 0 || dt <= 0 {
+		return out
+	}
+	t0, t1 := s.points[0].T, s.points[len(s.points)-1].T
+	for t := t0; t <= t1+dt/2; t += dt {
+		out.Append(t, s.ValueAt(t))
+	}
+	return out
+}
+
+// CSV renders the series as two-column CSV with a header row.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t_s,%s_%s\n", sanitize(s.Name), sanitize(s.Unit))
+	for _, p := range s.points {
+		fmt.Fprintf(&b, "%.9g,%.9g\n", p.T, p.V)
+	}
+	return b.String()
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ',', '\n', '\r':
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+// Geomean returns the geometric mean of strictly positive values; it
+// returns NaN if any value is non-positive or the slice is empty.
+func Geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// Mean returns the arithmetic mean; NaN for empty input.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}

@@ -1,0 +1,191 @@
+package series
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func ramp() *Series {
+	s := New("ramp", "V")
+	for i := 0; i <= 10; i++ {
+		s.Append(float64(i), float64(i)*2)
+	}
+	return s
+}
+
+func TestAppendOrderEnforced(t *testing.T) {
+	s := New("x", "u")
+	s.Append(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on time regression")
+		}
+	}()
+	s.Append(0.5, 0)
+}
+
+func TestMinMax(t *testing.T) {
+	s := New("temp", "C")
+	s.Append(0, 25)
+	s.Append(1, 70)
+	s.Append(2, 60)
+	s.Append(3, 20)
+	if tm, v := s.Max(); v != 70 || tm != 1 {
+		t.Errorf("Max = (%v,%v), want (1,70)", tm, v)
+	}
+	if tm, v := s.Min(); v != 20 || tm != 3 {
+		t.Errorf("Min = (%v,%v), want (3,20)", tm, v)
+	}
+}
+
+func TestValueAtInterpolates(t *testing.T) {
+	s := ramp()
+	if got := s.ValueAt(2.5); got != 5 {
+		t.Errorf("ValueAt(2.5) = %v, want 5", got)
+	}
+	if got := s.ValueAt(-1); got != 0 {
+		t.Errorf("ValueAt before start = %v, want clamp 0", got)
+	}
+	if got := s.ValueAt(99); got != 20 {
+		t.Errorf("ValueAt after end = %v, want clamp 20", got)
+	}
+}
+
+func TestFirstCrossingRising(t *testing.T) {
+	s := ramp() // v = 2t
+	tc, ok := s.FirstCrossing(7, true)
+	if !ok || math.Abs(tc-3.5) > 1e-12 {
+		t.Errorf("rising crossing = (%v,%v), want 3.5", tc, ok)
+	}
+	if _, ok := s.FirstCrossing(1000, true); ok {
+		t.Error("should not find crossing above max")
+	}
+}
+
+func TestFirstCrossingFalling(t *testing.T) {
+	s := New("fall", "V")
+	s.Append(0, 10)
+	s.Append(1, 6)
+	s.Append(2, 2)
+	tc, ok := s.FirstCrossing(4, false)
+	if !ok || math.Abs(tc-1.5) > 1e-12 {
+		t.Errorf("falling crossing = (%v,%v), want 1.5", tc, ok)
+	}
+}
+
+func TestSettleTime(t *testing.T) {
+	s := New("v", "V")
+	s.Append(0, 1.0)
+	s.Append(1, 1.3)  // out of band
+	s.Append(2, 1.19) // enters band here
+	s.Append(3, 1.2)
+	s.Append(4, 1.2)
+	ts, ok := s.SettleTime(0.024) // final 1.2, band ±0.024
+	if !ok || ts != 2 {
+		t.Errorf("SettleTime = (%v,%v), want 2", ts, ok)
+	}
+}
+
+func TestSettleTimeImmediate(t *testing.T) {
+	s := New("v", "V")
+	s.Append(0, 1.2)
+	s.Append(1, 1.2)
+	ts, ok := s.SettleTime(0.01)
+	if !ok || ts != 0 {
+		t.Errorf("SettleTime = (%v,%v), want 0", ts, ok)
+	}
+}
+
+func TestPlateauWithin(t *testing.T) {
+	s := New("temp", "C")
+	s.Append(0.0, 25)
+	s.Append(0.1, 60)
+	s.Append(1.0, 60) // 0.9 s plateau at 60
+	s.Append(1.2, 70)
+	got := s.PlateauWithin(60, 1.0)
+	if math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("plateau duration = %v, want 0.9", got)
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := ramp()
+	r := s.Resample(0.5)
+	if r.Len() != 21 {
+		t.Fatalf("resampled len = %d, want 21", r.Len())
+	}
+	if got := r.At(1).V; got != 1 {
+		t.Errorf("resampled value at t=0.5 = %v, want 1", got)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	s := New("volts,raw", "V")
+	s.Append(0, 1.5)
+	out := s.CSV()
+	if !strings.HasPrefix(out, "t_s,volts_raw_V\n") {
+		t.Errorf("CSV header = %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	if !strings.Contains(out, "0,1.5") {
+		t.Errorf("CSV body missing sample: %q", out)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{1, 4, 16}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Geomean = %v, want 4", got)
+	}
+	if !math.IsNaN(Geomean(nil)) {
+		t.Error("Geomean(nil) should be NaN")
+	}
+	if !math.IsNaN(Geomean([]float64{1, -1})) {
+		t.Error("Geomean with negative should be NaN")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+// Property: ValueAt at sample times returns the sampled values exactly, and
+// interpolation stays within the local sample bounds.
+func TestValueAtProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		s := New("p", "u")
+		tcur := 0.0
+		for _, v := range raw {
+			// Restrict to magnitudes where b-a cannot overflow; all signals
+			// in this repository are physical quantities far below 1e100.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				continue
+			}
+			tcur += 0.5
+			s.Append(tcur, v)
+		}
+		for i := 0; i < s.Len(); i++ {
+			p := s.At(i)
+			if s.ValueAt(p.T) != p.V {
+				return false
+			}
+		}
+		for i := 1; i < s.Len(); i++ {
+			a, b := s.At(i-1), s.At(i)
+			mid := s.ValueAt((a.T + b.T) / 2)
+			lo, hi := math.Min(a.V, b.V), math.Max(a.V, b.V)
+			if mid < lo-1e-9 || mid > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

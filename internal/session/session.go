@@ -1,0 +1,226 @@
+// Package session evaluates sprinting at the granularity the paper's
+// introduction motivates: interactive use is "short bursts of intense
+// computation punctuated by long idle periods waiting for user input"
+// (§1, citing the user-activity studies of Shye et al.). A session is a
+// trace of burst arrivals; the simulator services it under a policy —
+// sustained single-core, governed sprinting (§7 budget management), or
+// unmanaged sprinting — and reports the response-time distribution the
+// user experiences plus any thermal-budget violations.
+//
+// Service rates use the idealized linear-speedup model (one 1 W core
+// retires one unit of work per unit time; a width-w sprint retires w),
+// which the paper's Figure 7 justifies for its kernels at 16 cores; the
+// cycle-accurate coupling lives in internal/core, this package answers the
+// session-level pacing question.
+package session
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"sprinting/internal/governor"
+)
+
+// Burst is one user-triggered computation demand.
+type Burst struct {
+	// ArrivalS is the arrival time in seconds from session start.
+	ArrivalS float64
+	// WorkS is the burst's work in single-core seconds.
+	WorkS float64
+}
+
+// GenerateBursts produces a deterministic session trace: n bursts with
+// exponential inter-arrival gaps (mean meanGapS) and exponential work
+// (mean meanWorkS), clamped to a sensible interactive range.
+func GenerateBursts(n int, meanGapS, meanWorkS float64, seed int64) []Burst {
+	if n <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bursts := make([]Burst, 0, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			t += clamp(rng.ExpFloat64()*meanGapS, 0.1, meanGapS*8)
+		}
+		w := clamp(rng.ExpFloat64()*meanWorkS, meanWorkS/8, meanWorkS*6)
+		bursts = append(bursts, Burst{ArrivalS: t, WorkS: w})
+	}
+	return bursts
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Policy selects how bursts are serviced.
+type Policy int
+
+// Policies.
+const (
+	// SustainedPolicy serves every burst on the single sustainable core.
+	SustainedPolicy Policy = iota
+	// GovernedSprint sprints within the §7 budget: full width when the
+	// budget allows, degraded intensity otherwise (never a violation).
+	GovernedSprint
+	// UnmanagedSprint always sprints at full width, ignoring the budget —
+	// the straw man showing why the governor exists. Work executed beyond
+	// the budget is counted as a thermal violation (in a real system the
+	// hardware throttle would fire).
+	UnmanagedSprint
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case SustainedPolicy:
+		return "sustained"
+	case GovernedSprint:
+		return "governed sprint"
+	case UnmanagedSprint:
+		return "unmanaged sprint"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes the session evaluation.
+type Config struct {
+	// SprintWidth is the number of 1 W sprint cores (16).
+	SprintWidth int
+	// Governor configures the budget model.
+	Governor governor.Config
+}
+
+// DefaultConfig returns the paper's platform.
+func DefaultConfig() Config {
+	return Config{SprintWidth: 16, Governor: governor.DefaultConfig()}
+}
+
+// Metrics summarizes the user-visible outcome of a session.
+type Metrics struct {
+	Policy Policy
+
+	// MeanResponseS / P95ResponseS / MaxResponseS describe the
+	// response-time distribution (completion − arrival, including queueing
+	// behind an unfinished previous burst).
+	MeanResponseS float64
+	P95ResponseS  float64
+	MaxResponseS  float64
+
+	// FullIntensityPct is the fraction of bursts served start-to-finish at
+	// full sprint width.
+	FullIntensityPct float64
+
+	// ViolationJ is energy executed above the thermal budget (unmanaged
+	// policy only; the governor keeps it zero by construction).
+	ViolationJ float64
+
+	// SessionS is the completion time of the last burst.
+	SessionS float64
+}
+
+// Evaluate services the burst trace under the policy and returns metrics.
+// Bursts are served FIFO: a burst arriving before the previous one
+// finishes queues behind it.
+func Evaluate(bursts []Burst, policy Policy, cfg Config) Metrics {
+	m := Metrics{Policy: policy}
+	if len(bursts) == 0 {
+		return m
+	}
+	gov := governor.New(cfg.Governor)
+	width := float64(cfg.SprintWidth)
+	powerW := cfg.Governor.SprintPowerW
+
+	responses := make([]float64, 0, len(bursts))
+	fullCount := 0
+	now := 0.0  // governor clock == wall clock
+	free := 0.0 // when the "CPU" is next free
+
+	for _, b := range bursts {
+		start := math.Max(b.ArrivalS, free)
+		// Idle the governor over any gap before service begins.
+		if start > now {
+			gov.Idle(start - now)
+			now = start
+		}
+		var serviceS float64
+		switch policy {
+		case SustainedPolicy:
+			serviceS = b.WorkS
+			gov.Idle(serviceS) // at or below TDP: budget refills
+			now += serviceS
+		case UnmanagedSprint:
+			serviceS = b.WorkS / width
+			// Charge the budget; anything beyond capacity is a violation.
+			grantedS := math.Min(serviceS, gov.MaxSprintS(powerW))
+			gov.RecordSprint(powerW, serviceS)
+			if serviceS > grantedS {
+				m.ViolationJ += (serviceS - grantedS) * (powerW - 1)
+			}
+			if grantedS >= serviceS {
+				fullCount++
+			}
+			now += serviceS
+		case GovernedSprint:
+			remaining := b.WorkS
+			fullThroughout := true
+			// Serve in slices: full width while the budget lasts, then at
+			// the governed maximum intensity (≥ nominal).
+			for remaining > 1e-12 {
+				maxFullS := gov.MaxSprintS(powerW)
+				switch {
+				case maxFullS*width >= remaining:
+					// Finishes at full width.
+					dt := remaining / width
+					gov.RecordSprint(powerW, dt)
+					now += dt
+					serviceS += dt
+					remaining = 0
+				case maxFullS > 1e-9:
+					// Burn the remaining full-width budget...
+					gov.RecordSprint(powerW, maxFullS)
+					now += maxFullS
+					serviceS += maxFullS
+					remaining -= maxFullS * width
+					fullThroughout = false
+				default:
+					// ...then degrade to the sustainable rate (1 core).
+					dt := remaining
+					gov.Idle(dt)
+					now += dt
+					serviceS += dt
+					remaining = 0
+					fullThroughout = false
+				}
+			}
+			if fullThroughout {
+				fullCount++
+			}
+		}
+		free = start + serviceS
+		responses = append(responses, free-b.ArrivalS)
+	}
+	sort.Float64s(responses)
+	sum := 0.0
+	for _, r := range responses {
+		sum += r
+	}
+	m.MeanResponseS = sum / float64(len(responses))
+	m.P95ResponseS = responses[int(float64(len(responses)-1)*0.95)]
+	m.MaxResponseS = responses[len(responses)-1]
+	m.FullIntensityPct = 100 * float64(fullCount) / float64(len(bursts))
+	if policy == SustainedPolicy {
+		m.FullIntensityPct = 0
+	}
+	m.SessionS = free
+	return m
+}

@@ -1,0 +1,170 @@
+package session
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sparse() []Burst {
+	// Well-separated 2 s bursts: the paper's target scenario (5 s task
+	// compressed to half a second, then half a minute of idle).
+	return []Burst{
+		{ArrivalS: 0, WorkS: 2},
+		{ArrivalS: 40, WorkS: 2},
+		{ArrivalS: 80, WorkS: 2},
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := GenerateBursts(20, 10, 2, 7)
+	b := GenerateBursts(20, 10, 2, 7)
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("lengths: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical traces")
+		}
+	}
+	c := GenerateBursts(20, 10, 2, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGenerateProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		bs := GenerateBursts(50, 5, 1, seed)
+		prev := -1.0
+		for _, b := range bs {
+			if b.ArrivalS < prev || b.WorkS <= 0 {
+				return false
+			}
+			prev = b.ArrivalS
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if GenerateBursts(0, 1, 1, 1) != nil {
+		t.Error("zero bursts should give nil")
+	}
+}
+
+func TestSprintBeatsSustainedOnSparseBursts(t *testing.T) {
+	cfg := DefaultConfig()
+	sus := Evaluate(sparse(), SustainedPolicy, cfg)
+	gov := Evaluate(sparse(), GovernedSprint, cfg)
+	// Paper's headline: order-of-magnitude responsiveness for isolated
+	// bursts (2 s of work in ≈0.125 s at width 16).
+	if gov.MeanResponseS >= sus.MeanResponseS/8 {
+		t.Errorf("governed sprint mean %.3f s vs sustained %.3f s: want ≈16× better",
+			gov.MeanResponseS, sus.MeanResponseS)
+	}
+	if gov.FullIntensityPct < 99 {
+		t.Errorf("sparse bursts should all run at full intensity, got %.0f%%", gov.FullIntensityPct)
+	}
+	if gov.ViolationJ != 0 {
+		t.Error("governed policy must never violate the budget")
+	}
+}
+
+func TestDenseBurstsDegradeTowardSustained(t *testing.T) {
+	cfg := DefaultConfig()
+	// Back-to-back heavy bursts: the budget refills at ~1/16 duty cycle,
+	// so sustained-rate service must dominate (each burst alone costs
+	// ≈7.5 J of a ≈18 J budget).
+	dense := []Burst{}
+	for i := 0; i < 8; i++ {
+		dense = append(dense, Burst{ArrivalS: float64(i) * 0.6, WorkS: 8})
+	}
+	gov := Evaluate(dense, GovernedSprint, cfg)
+	if gov.FullIntensityPct > 50 {
+		t.Errorf("dense bursts cannot mostly run at full intensity: %.0f%%", gov.FullIntensityPct)
+	}
+	// Still no violations, and still no slower than sustained.
+	if gov.ViolationJ != 0 {
+		t.Error("governed policy must never violate")
+	}
+	sus := Evaluate(dense, SustainedPolicy, cfg)
+	if gov.MeanResponseS > sus.MeanResponseS*1.01 {
+		t.Errorf("governed (%.2f s) should never lose to sustained (%.2f s)",
+			gov.MeanResponseS, sus.MeanResponseS)
+	}
+}
+
+func TestUnmanagedSprintViolates(t *testing.T) {
+	cfg := DefaultConfig()
+	dense := []Burst{}
+	for i := 0; i < 6; i++ {
+		dense = append(dense, Burst{ArrivalS: float64(i) * 0.2, WorkS: 6})
+	}
+	um := Evaluate(dense, UnmanagedSprint, cfg)
+	if um.ViolationJ <= 0 {
+		t.Error("unmanaged dense sprinting must exceed the thermal budget")
+	}
+	gov := Evaluate(dense, GovernedSprint, cfg)
+	if gov.ViolationJ != 0 {
+		t.Error("governor must prevent violations on the same trace")
+	}
+	// Unmanaged is faster on paper but only by pretending the violation is
+	// free — the comparison the governor exists to forbid.
+	if um.MeanResponseS > gov.MeanResponseS {
+		t.Error("unmanaged (violating) should not be slower than governed")
+	}
+}
+
+func TestFIFOQueueing(t *testing.T) {
+	cfg := DefaultConfig()
+	// Second burst arrives while the first is still being served
+	// (sustained): it must queue.
+	bursts := []Burst{{ArrivalS: 0, WorkS: 10}, {ArrivalS: 1, WorkS: 1}}
+	m := Evaluate(bursts, SustainedPolicy, cfg)
+	// First response 10 s; second waits 9 s then 1 s service = 10 s.
+	if math.Abs(m.MaxResponseS-10) > 1e-9 {
+		t.Errorf("max response = %v, want 10", m.MaxResponseS)
+	}
+	if math.Abs(m.MeanResponseS-10) > 1e-9 {
+		t.Errorf("mean response = %v, want 10", m.MeanResponseS)
+	}
+}
+
+func TestResponsePercentilesOrdered(t *testing.T) {
+	f := func(seed int64) bool {
+		bs := GenerateBursts(30, 8, 2, seed)
+		for _, p := range []Policy{SustainedPolicy, GovernedSprint, UnmanagedSprint} {
+			m := Evaluate(bs, p, DefaultConfig())
+			if m.MeanResponseS <= 0 || m.P95ResponseS < m.MeanResponseS*0.5 ||
+				m.MaxResponseS < m.P95ResponseS-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptySession(t *testing.T) {
+	m := Evaluate(nil, GovernedSprint, DefaultConfig())
+	if m.MeanResponseS != 0 || m.SessionS != 0 {
+		t.Errorf("empty session should be zero: %+v", m)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []Policy{SustainedPolicy, GovernedSprint, UnmanagedSprint} {
+		if p.String() == "" {
+			t.Error("unnamed policy")
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package table renders the experiment harness output: fixed-width ASCII
+// tables whose rows mirror the series the paper's tables and figures report.
+package table
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of string cells with a header row.
+type Table struct {
+	Title   string
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells and long
+// rows extend the header with empty column names.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Header) {
+		cells = append(cells, "")
+	}
+	for len(t.Header) < len(cells) {
+		t.Header = append(t.Header, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row of formatted values: strings pass through, float64
+// render with %.3g, and everything else uses %v.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(row...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// Render writes the table to w in fixed-width ASCII form.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Caption != "" {
+		fmt.Fprintf(w, "(%s)\n", t.Caption)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// F formats a float64 with the given number of significant digits; the
+// experiment drivers use it for speedups and joules.
+func F(v float64, digits int) string {
+	return fmt.Sprintf("%.*g", digits, v)
+}
+
+// CSV renders the table as comma-separated values (header row first),
+// quoting cells that contain commas or quotes.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

@@ -1,0 +1,81 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	tb := New("Demo", "kernel", "speedup")
+	tb.AddRow("sobel", "12.1")
+	tb.AddRow("kmeans", "9.8")
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Errorf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "kernel") || !strings.Contains(out, "speedup") {
+		t.Errorf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "sobel") || !strings.Contains(out, "9.8") {
+		t.Errorf("missing rows: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines, want 5: %q", len(lines), out)
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.AddRow("x")
+	if len(tb.Rows[0]) != 3 {
+		t.Errorf("row not padded: %v", tb.Rows[0])
+	}
+}
+
+func TestLongRowsExtendHeader(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow("x", "y", "z")
+	if len(tb.Header) != 3 {
+		t.Errorf("header not extended: %v", tb.Header)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := New("", "name", "value", "count")
+	tb.AddRowf("pi", 3.14159, 42)
+	if tb.Rows[0][0] != "pi" {
+		t.Errorf("string cell = %q", tb.Rows[0][0])
+	}
+	if tb.Rows[0][1] != "3.14" {
+		t.Errorf("float cell = %q, want 3.14", tb.Rows[0][1])
+	}
+	if tb.Rows[0][2] != "42" {
+		t.Errorf("int cell = %q, want 42", tb.Rows[0][2])
+	}
+}
+
+func TestCaption(t *testing.T) {
+	tb := New("T", "h")
+	tb.Caption = "paper Figure 7"
+	if !strings.Contains(tb.String(), "(paper Figure 7)") {
+		t.Error("caption not rendered")
+	}
+}
+
+func TestF(t *testing.T) {
+	if got := F(10.2345, 3); got != "10.2" {
+		t.Errorf("F = %q, want 10.2", got)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("", "kernel", "speedup")
+	tb.AddRow("sobel", "14.3")
+	tb.AddRow("with,comma", `with"quote`)
+	out := tb.CSV()
+	want := "kernel,speedup\nsobel,14.3\n\"with,comma\",\"with\"\"quote\"\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}

@@ -1,0 +1,123 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sprinting/internal/materials"
+)
+
+// TestTimeScaledTrajectoryEquivalence is the key property behind the
+// experiment methodology (DESIGN.md §4 item 6): a stack with capacitances
+// divided by s, driven by the same power, traces the same temperatures at
+// times divided by s.
+func TestTimeScaledTrajectoryEquivalence(t *testing.T) {
+	const s = 50.0
+	base := DefaultStackConfig().Build()
+	scaled := DefaultStackConfig().TimeScaled(s).Build()
+	dt := 1e-4
+	for i := 0; i < 20000; i++ {
+		base.Step(dt, 16)
+		scaled.Step(dt/s, 16)
+		if i%2000 == 0 {
+			if d := math.Abs(base.JunctionC() - scaled.JunctionC()); d > 0.3 {
+				t.Fatalf("step %d: junction diverged by %.3f °C (base %.2f, scaled %.2f)",
+					i, d, base.JunctionC(), scaled.JunctionC())
+			}
+			if d := math.Abs(base.MeltFraction() - scaled.MeltFraction()); d > 0.02 {
+				t.Fatalf("step %d: melt fraction diverged by %.3f", i, d)
+			}
+		}
+	}
+}
+
+// TestScaledSustainedEquilibrium: scaling must not move the steady state.
+func TestScaledSustainedEquilibrium(t *testing.T) {
+	for _, s := range []float64{1, 10, 100} {
+		cfg := DefaultStackConfig().TimeScaled(s)
+		st := cfg.Build()
+		inject := make([]float64, st.Net.NumNodes())
+		inject[st.Junction] = 1.0
+		temps := st.Net.SteadyStateTempC(inject)
+		if temps[st.Junction] >= cfg.PCM.MeltingPointC {
+			t.Errorf("scale %g: 1 W steady junction %.2f ≥ melting point", s, temps[st.Junction])
+		}
+	}
+}
+
+// TestMultiPCMNetwork: networks may hold several PCM nodes with different
+// melting points; each plateaus at its own temperature.
+func TestMultiPCMNetwork(t *testing.T) {
+	n := NewNetwork(25)
+	low := materials.StudyPCM
+	low.MeltingPointC = 40
+	hi := materials.StudyPCM // 60 °C
+	a := n.AddPCMNode("low", 0.05, low, 25)
+	b := n.AddPCMNode("high", 0.05, hi, 25)
+	n.Connect(a, b, 1)
+	n.Connect(b, AmbientNode, 20)
+	inject := make([]float64, n.NumNodes())
+	inject[a] = 8
+	sawLowPlateau, sawHiPlateau := false, false
+	for i := 0; i < 200000; i++ {
+		n.Step(1e-4, inject)
+		if f := n.MeltFraction(a); f > 0 && f < 1 && math.Abs(n.TempC(a)-40) < 1e-6 {
+			sawLowPlateau = true
+		}
+		if f := n.MeltFraction(b); f > 0 && f < 1 && math.Abs(n.TempC(b)-60) < 1e-6 {
+			sawHiPlateau = true
+		}
+	}
+	if !sawLowPlateau || !sawHiPlateau {
+		t.Errorf("plateaus: low=%v high=%v; both PCM nodes should transition", sawLowPlateau, sawHiPlateau)
+	}
+}
+
+// TestEnergyBudgetMonotoneInMass: more PCM mass strictly increases the
+// sprint energy budget (property-based).
+func TestEnergyBudgetMonotoneInMass(t *testing.T) {
+	f := func(rawA, rawB float64) bool {
+		a := math.Mod(math.Abs(rawA), 0.5) + 0.001
+		b := math.Mod(math.Abs(rawB), 0.5) + 0.001
+		if a > b {
+			a, b = b, a
+		}
+		cfgA := DefaultStackConfig().WithPCMMass(a)
+		cfgB := DefaultStackConfig().WithPCMMass(b)
+		return SprintEnergyBudgetJ(cfgA, 16) <= SprintEnergyBudgetJ(cfgB, 16)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryComplete(t *testing.T) {
+	rows := DefaultStackConfig().Summary()
+	if len(rows) < 12 {
+		t.Errorf("Figure 3 summary has %d rows, want the full element inventory", len(rows))
+	}
+	for _, r := range rows {
+		if r[0] == "" || r[1] == "" {
+			t.Errorf("empty summary row: %v", r)
+		}
+	}
+}
+
+// TestStableStepScalesWithCapacitance: scaled stacks need proportionally
+// smaller integration steps, and Step's internal sub-stepping handles it.
+func TestStableStepScalesWithCapacitance(t *testing.T) {
+	base := DefaultStackConfig().Build()
+	scaled := DefaultStackConfig().TimeScaled(100).Build()
+	if scaled.Net.StableStep() >= base.Net.StableStep() {
+		t.Error("scaled stack should have a smaller stable step")
+	}
+	// A huge step remains stable thanks to sub-stepping: the temperature
+	// must stay below (and converge toward) the 16 W steady state rather
+	// than oscillating or overflowing.
+	scaled.Step(1.0, 16)
+	steady := scaled.Config.AmbientC + 16*scaled.Config.TotalResistanceToAmbient()
+	if tj := scaled.JunctionC(); math.IsNaN(tj) || tj > steady+1 {
+		t.Errorf("unstable integration on scaled stack: %v (steady state %v)", tj, steady)
+	}
+}

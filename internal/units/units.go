@@ -1,0 +1,91 @@
+// Package units provides the physical quantities, conversions, and constants
+// shared by the thermal, electrical, and architectural models.
+//
+// All models in this repository use SI base units internally: seconds,
+// joules, watts, kelvins, volts, amperes, ohms, farads, henries, grams are
+// the only exceptions called out explicitly in names (e.g. Milligrams).
+// Typed float64 wrappers are deliberately avoided: the simulators do heavy
+// arithmetic on these values and the paper's formulas mix units freely, so
+// plain float64 with unit-suffixed names (powerW, tempC) is the convention.
+package units
+
+import "math"
+
+// Common physical and configuration constants.
+const (
+	// ZeroCelsiusK is 0 °C expressed in kelvins.
+	ZeroCelsiusK = 273.15
+
+	// AmbientC is the ambient temperature assumed throughout the paper's
+	// thermal evaluation (a warm room / jacket pocket).
+	AmbientC = 25.0
+
+	// CyclesPerSecond is the nominal core clock of the paper's platform:
+	// in-order cores at 1 GHz, so one cycle is exactly one nanosecond.
+	CyclesPerSecond = 1e9
+
+	// NanosPerCycle is the wall-clock duration of one nominal cycle.
+	NanosPerCycle = 1e9 / CyclesPerSecond
+
+	// KiB and MiB are binary byte sizes used for cache geometry.
+	KiB = 1024
+	MiB = 1024 * 1024
+)
+
+// CToK converts a temperature from degrees Celsius to kelvins.
+func CToK(c float64) float64 { return c + ZeroCelsiusK }
+
+// KToC converts a temperature from kelvins to degrees Celsius.
+func KToC(k float64) float64 { return k - ZeroCelsiusK }
+
+// CyclesToSeconds converts a cycle count at the nominal 1 GHz clock to
+// seconds of simulated wall-clock time.
+func CyclesToSeconds(cycles uint64) float64 {
+	return float64(cycles) / CyclesPerSecond
+}
+
+// SecondsToCycles converts simulated seconds to nominal-clock cycles,
+// rounding to the nearest whole cycle.
+func SecondsToCycles(s float64) uint64 {
+	if s <= 0 {
+		return 0
+	}
+	return uint64(math.Round(s * CyclesPerSecond))
+}
+
+// Micro, Milli, Nano, Pico, Femto are SI prefix multipliers, provided so
+// that model parameter tables read like the paper's figures (5 nH, 16 pF).
+const (
+	Milli = 1e-3
+	Micro = 1e-6
+	Nano  = 1e-9
+	Pico  = 1e-12
+	Femto = 1e-15
+)
+
+// ApproxEqual reports whether a and b agree within both the absolute
+// tolerance atol and a relative tolerance rtol of the larger magnitude.
+// It is the single floating-point comparison used by tests and by model
+// convergence checks.
+func ApproxEqual(a, b, atol, rtol float64) bool {
+	d := math.Abs(a - b)
+	if d <= atol {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= rtol*m
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Lerp linearly interpolates between a (t=0) and b (t=1).
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }

@@ -1,0 +1,92 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTemperatureConversionRoundTrip(t *testing.T) {
+	f := func(c float64) bool {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return true
+		}
+		return ApproxEqual(KToC(CToK(c)), c, 1e-9, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCToKKnownValues(t *testing.T) {
+	cases := []struct{ c, k float64 }{
+		{0, 273.15},
+		{25, 298.15},
+		{60, 333.15},
+		{70, 343.15},
+		{-273.15, 0},
+	}
+	for _, tc := range cases {
+		if got := CToK(tc.c); !ApproxEqual(got, tc.k, 1e-9, 0) {
+			t.Errorf("CToK(%v) = %v, want %v", tc.c, got, tc.k)
+		}
+	}
+}
+
+func TestCycleConversion(t *testing.T) {
+	if got := CyclesToSeconds(1e9); got != 1.0 {
+		t.Errorf("1e9 cycles = %v s, want 1", got)
+	}
+	if got := SecondsToCycles(0.5); got != 5e8 {
+		t.Errorf("0.5 s = %v cycles, want 5e8", got)
+	}
+	if got := SecondsToCycles(-1); got != 0 {
+		t.Errorf("negative seconds should clamp to 0 cycles, got %v", got)
+	}
+}
+
+func TestCycleRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		c := uint64(n)
+		return SecondsToCycles(CyclesToSeconds(c)) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0+1e-12, 1e-9, 0) {
+		t.Error("tiny absolute difference should be equal")
+	}
+	if !ApproxEqual(1e12, 1e12*(1+1e-9), 0, 1e-6) {
+		t.Error("tiny relative difference should be equal")
+	}
+	if ApproxEqual(1.0, 2.0, 1e-3, 1e-3) {
+		t.Error("1 and 2 are not approximately equal")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp(5,0,1) = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp(-5,0,1) = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp(0.5,0,1) = %v", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if got := Lerp(10, 20, 0.5); got != 15 {
+		t.Errorf("Lerp mid = %v", got)
+	}
+	if got := Lerp(10, 20, 0); got != 10 {
+		t.Errorf("Lerp start = %v", got)
+	}
+	if got := Lerp(10, 20, 1); got != 20 {
+		t.Errorf("Lerp end = %v", got)
+	}
+}

@@ -1,0 +1,207 @@
+package workloads
+
+import (
+	"fmt"
+
+	"sprinting/internal/isa"
+	"sprinting/internal/rt"
+)
+
+// Disparity parameters: search range and half-window for the SAD match.
+const (
+	dispRange   = 4
+	dispHalfWin = 2
+)
+
+// BuildDisparity constructs the stereo disparity kernel (adapted from
+// SD-VBS): for each candidate disparity d it computes an
+// absolute-difference integral image (band-parallel with halo rows) and
+// then a windowed SAD from four integral corners, keeping the best d per
+// pixel. The intermediate planes stream through memory, which is what
+// makes disparity memory-bandwidth-limited at high core counts (§8.5).
+func BuildDisparity(p Params) *Instance {
+	p = p.withDefaults()
+	// Disparity needs working sets beyond the 4 MB LLC to exercise the
+	// bandwidth wall at its larger size classes (Figure 10 runs the
+	// largest input), so its size classes are 2× the base table.
+	w, h := sizePixels(megapixelsFor(p.Size, p.Scale) * 2)
+	space := isa.NewAddressSpace(64)
+	left, right, truth := StereoPair(space, w, h, dispRange, p.Seed)
+
+	ds := &dispState{
+		left: left, right: right, truth: truth,
+		integral:  NewImageF32(space, w, h),
+		bestScore: NewImageF32(space, w, h),
+		bestDisp:  NewImageU8(space, w, h),
+	}
+	for i := range ds.bestScore.Pix {
+		ds.bestScore.Pix[i] = 1e30
+	}
+
+	prog := rt.Program{Name: "disparity"}
+	for d := 0; d < dispRange; d++ {
+		d := d
+		adTasks := rt.ShardStreams(fmt.Sprintf("ad%d", d), h, p.Shards, func(lo, hi int) isa.Stream {
+			return &dispADShard{ds: ds, d: d, yTop: lo, y: lo, yEnd: hi}
+		})
+		sadTasks := rt.ShardStreams(fmt.Sprintf("sad%d", d), h, p.Shards, func(lo, hi int) isa.Stream {
+			return &dispSADShard{ds: ds, d: d, yTop: lo, y: lo, yEnd: hi}
+		})
+		prog.Phases = append(prog.Phases,
+			rt.Phase{Name: fmt.Sprintf("integral-d%d", d), Tasks: adTasks},
+			rt.Phase{Name: fmt.Sprintf("sad-d%d", d), Tasks: sadTasks},
+		)
+	}
+
+	inst := &Instance{
+		Kernel:    "disparity",
+		Detail:    fmt.Sprintf("%s stereo, range %d, win %d", fmtDims(w, h), dispRange, 2*dispHalfWin+1),
+		Program:   prog,
+		Space:     space,
+		WorkItems: w * h,
+	}
+	inst.Verify = func() error { return ds.verify() }
+	return inst
+}
+
+type dispState struct {
+	left, right *ImageU8
+	truth       []int
+	integral    *ImageF32 // band-local AD integral for the current d
+	bestScore   *ImageF32
+	bestDisp    *ImageU8
+}
+
+// dispADShard computes the band-local integral image of |L − R_d| over
+// rows [yTop, yEnd). Integrals are band-local (reset at the band top) so
+// bands are independent; SAD windows near band edges clamp to the band.
+type dispADShard struct {
+	ds      *dispState
+	d       int
+	yTop    int
+	y, yEnd int
+	x       int
+}
+
+func (s *dispADShard) Next(buf []isa.Instr) int {
+	ds := s.ds
+	w := ds.left.W
+	e := isa.NewEmitter(buf)
+	const perPixel = 7 // 2 img loads + 2 integral loads + compute + store
+	for s.y < s.yEnd {
+		if len(buf)-e.Len() < perPixel {
+			return e.Len()
+		}
+		x, y := s.x, s.y
+		s.x++
+		if s.x >= w {
+			s.x = 0
+			s.y++
+		}
+		sx := x + s.d
+		if sx >= w {
+			sx = w - 1
+		}
+		ad := float32(iabs(int(ds.left.At(sx, y)) - int(ds.right.At(x, y))))
+		e.Load(ds.left.Addr(sx, y))
+		e.Load(ds.right.Addr(x, y))
+		// Band-local 2D integral: I(x,y) = ad + I(x-1,y) + I(x,y-1) − I(x-1,y-1).
+		var leftI, upI, diagI float32
+		if x > 0 {
+			leftI = ds.integral.At(x-1, y)
+		}
+		if y > s.yTop {
+			upI = ds.integral.At(x, y-1)
+			e.Load(ds.integral.Addr(x, y-1))
+			if x > 0 {
+				diagI = ds.integral.At(x-1, y-1)
+				e.Load(ds.integral.Addr(x-1, y-1))
+			}
+		}
+		ds.integral.Set(x, y, ad+leftI+upI-diagI)
+		// AD + three adds + addressing/branch overhead.
+		e.Compute(6)
+		e.Store(ds.integral.Addr(x, y))
+	}
+	return e.Len()
+}
+
+// dispSADShard computes the windowed SAD from integral corners for rows
+// [yTop, yEnd) and updates the running best disparity.
+type dispSADShard struct {
+	ds      *dispState
+	d       int
+	yTop    int
+	y, yEnd int
+	x       int
+}
+
+func (s *dispSADShard) Next(buf []isa.Instr) int {
+	ds := s.ds
+	w, hw := ds.left.W, dispHalfWin
+	e := isa.NewEmitter(buf)
+	const perPixel = 10 // 4 corners + best load + compute + 2 stores
+	for s.y < s.yEnd {
+		if len(buf)-e.Len() < perPixel {
+			return e.Len()
+		}
+		x, y := s.x, s.y
+		s.x++
+		if s.x >= w {
+			s.x = 0
+			s.y++
+		}
+		// Window clamped to the band and image.
+		x0, x1 := x-hw-1, x+hw
+		y0, y1 := y-hw-1, y+hw
+		if x1 >= w {
+			x1 = w - 1
+		}
+		if y1 > s.yEnd-1 {
+			y1 = s.yEnd - 1
+		}
+		corner := func(cx, cy int) float32 {
+			if cx < 0 || cy < s.yTop {
+				return 0
+			}
+			e.Load(ds.integral.Addr(cx, cy))
+			return ds.integral.At(cx, cy)
+		}
+		sad := corner(x1, y1) - corner(x0, y1) - corner(x1, y0) + corner(x0, y0)
+		e.Load(ds.bestScore.Addr(x, y))
+		// Corner arithmetic, comparison, and loop overhead.
+		e.Compute(12)
+		if sad < ds.bestScore.At(x, y) {
+			ds.bestScore.Set(x, y, sad)
+			ds.bestDisp.Set(x, y, uint8(s.d))
+			e.Store(ds.bestScore.Addr(x, y))
+			e.Store(ds.bestDisp.Addr(x, y))
+		}
+	}
+	return e.Len()
+}
+
+// verify checks recovered disparities against the constructed ground truth
+// on interior pixels away from band and disparity-shift borders. Block
+// matching on synthetic texture is not exact everywhere, so it requires a
+// large-majority match.
+func (ds *dispState) verify() error {
+	w, h := ds.left.W, ds.left.H
+	good, total := 0, 0
+	for y := h / 8; y < h-h/8; y += 3 {
+		want := ds.truth[y]
+		for x := w / 8; x < w-w/8-dispRange; x += 7 {
+			total++
+			if int(ds.bestDisp.At(x, y)) == want {
+				good++
+			}
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("disparity: no pixels sampled")
+	}
+	if frac := float64(good) / float64(total); frac < 0.55 {
+		return fmt.Errorf("disparity: only %.0f%% of sampled pixels match ground truth", frac*100)
+	}
+	return nil
+}

@@ -1,0 +1,322 @@
+package workloads
+
+import (
+	"fmt"
+
+	"sprinting/internal/isa"
+	"sprinting/internal/rt"
+)
+
+// Feature-extraction parameters: SURF-style box-filter scales (the lobe
+// half-sizes of the Hessian approximation) and detection threshold.
+var featScales = []int{2, 4}
+
+const featThreshold = 1200
+
+// BuildFeature constructs the feature kernel — SURF-style extraction as in
+// MEVBench: (1) integral-image row prefix (row-parallel), (2) column
+// prefix (column-parallel, streaming), (3) Hessian box responses at two
+// scales (row-parallel, eight integral corners per filter), (4) extrema
+// detection and descriptors. The full-frame float intermediates stream
+// through the LLC, making feature bandwidth-hungry at scale (§8.5).
+func BuildFeature(p Params) *Instance {
+	p = p.withDefaults()
+	// Feature needs >LLC working sets at its larger size classes (the
+	// Figure 10 scaling study uses the largest input): 2.5× base sizes.
+	w, h := sizePixels(megapixelsFor(p.Size, p.Scale) * 2.5)
+	space := isa.NewAddressSpace(64)
+	img := NewImageU8(space, w, h)
+	FillScene(img, SceneBlobs, p.Seed)
+
+	fs := &featState{
+		img:      img,
+		rowPref:  NewImageF32(space, w, h),
+		integral: NewImageF32(space, w, h),
+		resp:     NewImageF32(space, w, h),
+	}
+	fs.featCount = make([]int32, p.Shards)
+	fs.featBase = space.Alloc(uint64(p.Shards * 64 * 8))
+
+	rowTasks := rt.ShardStreams("rows", h, p.Shards, func(lo, hi int) isa.Stream {
+		return &featRowShard{fs: fs, y: lo, yEnd: hi}
+	})
+	colTasks := rt.ShardStreams("cols", w, p.Shards, func(lo, hi int) isa.Stream {
+		return &featColShard{fs: fs, x0: lo, x1: hi}
+	})
+	respTasks := rt.ShardStreams("resp", h, p.Shards, func(lo, hi int) isa.Stream {
+		return &featRespShard{fs: fs, y: lo, yEnd: hi}
+	})
+	extTasks := make([]rt.Task, 0, p.Shards)
+	for si := 0; si < p.Shards; si++ {
+		lo, hi := h*si/p.Shards, h*(si+1)/p.Shards
+		if lo >= hi {
+			continue
+		}
+		extTasks = append(extTasks, rt.Task{
+			Name:   fmt.Sprintf("extrema[%d]", si),
+			Stream: &featExtremaShard{fs: fs, shard: si, y: lo, yEnd: hi},
+		})
+	}
+
+	prog := rt.Program{Name: "feature", Phases: []rt.Phase{
+		{Name: "integral-rows", Tasks: rowTasks},
+		{Name: "integral-cols", Tasks: colTasks},
+		{Name: "hessian", Tasks: respTasks},
+		{Name: "extrema", Tasks: extTasks},
+	}}
+
+	inst := &Instance{
+		Kernel:    "feature",
+		Detail:    fmt.Sprintf("%s, %d scales", fmtDims(w, h), len(featScales)),
+		Program:   prog,
+		Space:     space,
+		WorkItems: w * h,
+	}
+	inst.Verify = func() error { return fs.verify() }
+	return inst
+}
+
+type featState struct {
+	img      *ImageU8
+	rowPref  *ImageF32
+	integral *ImageF32
+	resp     *ImageF32
+
+	featCount []int32
+	featBase  uint64
+	numFeat   int32
+}
+
+// featRowShard computes per-row prefix sums for rows [y, yEnd).
+type featRowShard struct {
+	fs      *featState
+	y, yEnd int
+	x       int
+	acc     float32
+}
+
+func (s *featRowShard) Next(buf []isa.Instr) int {
+	fs := s.fs
+	w := fs.img.W
+	e := isa.NewEmitter(buf)
+	for s.y < s.yEnd {
+		if len(buf)-e.Len() < 4 {
+			return e.Len()
+		}
+		x, y := s.x, s.y
+		s.x++
+		if s.x >= w {
+			s.x = 0
+			s.y++
+		}
+		if x == 0 {
+			s.acc = 0
+		}
+		s.acc += float32(fs.img.At(x, y))
+		fs.rowPref.Set(x, y, s.acc)
+		e.Load(fs.img.Addr(x, y))
+		e.Compute(3)
+		e.Store(fs.rowPref.Addr(x, y))
+	}
+	return e.Len()
+}
+
+// featColShard accumulates column prefixes over columns [x0, x1), walking
+// rows outermost so accesses stay row-major within the band.
+type featColShard struct {
+	fs     *featState
+	x0, x1 int
+	x, y   int
+	init   bool
+}
+
+func (s *featColShard) Next(buf []isa.Instr) int {
+	fs := s.fs
+	e := isa.NewEmitter(buf)
+	if !s.init {
+		s.x = s.x0
+		s.init = true
+	}
+	for s.y < fs.img.H {
+		if len(buf)-e.Len() < 5 {
+			return e.Len()
+		}
+		x, y := s.x, s.y
+		s.x++
+		if s.x >= s.x1 {
+			s.x = s.x0
+			s.y++
+		}
+		v := fs.rowPref.At(x, y)
+		e.Load(fs.rowPref.Addr(x, y))
+		if y > 0 {
+			v += fs.integral.At(x, y-1)
+			e.Load(fs.integral.Addr(x, y-1))
+		}
+		fs.integral.Set(x, y, v)
+		e.Compute(3)
+		e.Store(fs.integral.Addr(x, y))
+	}
+	return e.Len()
+}
+
+// boxSum reads a rectangle sum from the integral image, emitting the four
+// corner loads.
+func (fs *featState) boxSum(e *isa.Emitter, x0, y0, x1, y1 int) float32 {
+	w, h := fs.integral.W, fs.integral.H
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return -1
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	x0, x1 = clamp(x0, w-1), clamp(x1, w-1)
+	y0, y1 = clamp(y0, h-1), clamp(y1, h-1)
+	at := func(x, y int) float32 {
+		if x < 0 || y < 0 {
+			return 0
+		}
+		e.Load(fs.integral.Addr(x, y))
+		return fs.integral.At(x, y)
+	}
+	return at(x1, y1) - at(x0, y1) - at(x1, y0) + at(x0, y0)
+}
+
+// featRespShard computes the Hessian determinant response (sum over
+// scales) for rows [y, yEnd).
+type featRespShard struct {
+	fs      *featState
+	y, yEnd int
+	x       int
+}
+
+func (s *featRespShard) Next(buf []isa.Instr) int {
+	fs := s.fs
+	w := fs.img.W
+	e := isa.NewEmitter(buf)
+	// Per scale: Dxx (8 corner loads via two boxes), Dyy (8), ≈26 compute;
+	// plus the response store.
+	perPixel := len(featScales)*18 + 2
+	for s.y < s.yEnd {
+		if len(buf)-e.Len() < perPixel {
+			return e.Len()
+		}
+		x, y := s.x, s.y
+		s.x++
+		if s.x >= w {
+			s.x = 0
+			s.y++
+		}
+		var total float32
+		for _, sc := range featScales {
+			// Dxx: wide box minus 3× the central third.
+			whole := fs.boxSum(e, x-3*sc/2, y-sc, x+3*sc/2, y+sc)
+			mid := fs.boxSum(e, x-sc/2, y-sc, x+sc/2, y+sc)
+			dxx := whole - 3*mid
+			// Dyy: tall box minus 3× the central third.
+			wholeV := fs.boxSum(e, x-sc, y-3*sc/2, x+sc, y+3*sc/2)
+			midV := fs.boxSum(e, x-sc, y-sc/2, x+sc, y+sc/2)
+			dyy := wholeV - 3*midV
+			total += dxx*dyy/float32(sc*sc) - 0.81*dxx*dxx/float32(sc*sc)
+			e.Compute(26)
+		}
+		fs.resp.Set(x, y, total)
+		e.Store(fs.resp.Addr(x, y))
+	}
+	return e.Len()
+}
+
+// featExtremaShard finds local maxima of the response above threshold and
+// emits a small descriptor per detection.
+type featExtremaShard struct {
+	fs      *featState
+	shard   int
+	y, yEnd int
+	x       int
+}
+
+func (s *featExtremaShard) Next(buf []isa.Instr) int {
+	fs := s.fs
+	w, h := fs.img.W, fs.img.H
+	e := isa.NewEmitter(buf)
+	const perPixel = 32 // 5 neighbour loads + compute; descriptor adds 16+4
+	for s.y < s.yEnd {
+		if len(buf)-e.Len() < perPixel {
+			return e.Len()
+		}
+		x, y := s.x, s.y
+		s.x++
+		if s.x >= w {
+			s.x = 0
+			s.y++
+		}
+		// Ignore the border band where box filters clip (standard SURF
+		// practice: responses there are unreliable).
+		margin := 3*featScales[len(featScales)-1]/2 + 2
+		if x < margin || y < margin || x >= w-margin || y >= h-margin {
+			e.Compute(1)
+			continue
+		}
+		v := fs.resp.At(x, y)
+		e.Load(fs.resp.Addr(x, y))
+		e.Compute(3)
+		if v < featThreshold {
+			continue
+		}
+		// 4-neighbour maximum test.
+		isMax := v > fs.resp.At(x-1, y) && v >= fs.resp.At(x+1, y) &&
+			v > fs.resp.At(x, y-1) && v >= fs.resp.At(x, y+1)
+		e.Load(fs.resp.Addr(x-1, y))
+		e.Load(fs.resp.Addr(x+1, y))
+		e.Load(fs.resp.Addr(x, y-1))
+		e.Load(fs.resp.Addr(x, y+1))
+		e.Compute(6)
+		if !isMax {
+			continue
+		}
+		// Descriptor: 16 integral samples around the keypoint.
+		for dy := -2; dy < 2; dy++ {
+			for dx := -2; dx < 2; dx++ {
+				e.Load(fs.integral.Addr(x+dx*2, y+dy*2))
+			}
+		}
+		e.Compute(40)
+		if fs.featCount[s.shard] < 64 {
+			e.Store(fs.featBase + uint64(s.shard*64*8) + uint64(fs.featCount[s.shard]*8))
+		}
+		fs.featCount[s.shard]++
+		fs.numFeat++
+	}
+	return e.Len()
+}
+
+// verify checks the integral image identity on samples and that the
+// blob-rich scene produced a plausible number of detections.
+func (fs *featState) verify() error {
+	w, h := fs.img.W, fs.img.H
+	// Integral identity: I(x,y) equals the brute sum over a small origin
+	// rectangle.
+	for _, probe := range [][2]int{{5, 5}, {w / 2, h / 3}, {w - 3, h - 3}} {
+		x, y := probe[0], probe[1]
+		var want float64
+		for yy := 0; yy <= y; yy++ {
+			for xx := 0; xx <= x; xx++ {
+				want += float64(fs.img.At(xx, yy))
+			}
+		}
+		got := float64(fs.integral.At(x, y))
+		if diff := got - want; diff > want*1e-3+64 || diff < -want*1e-3-64 {
+			return fmt.Errorf("feature: integral(%d,%d) = %.0f, want %.0f", x, y, got, want)
+		}
+	}
+	if fs.numFeat < 4 {
+		return fmt.Errorf("feature: only %d detections on a blob scene", fs.numFeat)
+	}
+	if int(fs.numFeat) > w*h/16 {
+		return fmt.Errorf("feature: %d detections is implausibly dense", fs.numFeat)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package workloads
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sprinting/internal/isa"
+)
+
+func buildFeatState(t *testing.T, scale float64, shards, cores int, seed int64) *featState {
+	t.Helper()
+	p := Params{Size: SizeA, Scale: scale, Shards: shards, Seed: seed}
+	inst := BuildFeature(p)
+	runProgram(t, inst, cores)
+	return inst.Program.Phases[0].Tasks[0].Stream.(*featRowShard).fs
+}
+
+// TestFeatureIntegralIdentity: the two-pass parallel integral image equals
+// the brute-force prefix sum at random probes (property-based).
+func TestFeatureIntegralIdentity(t *testing.T) {
+	fs := buildFeatState(t, 0.06, 6, 3, 31)
+	w, h := fs.img.W, fs.img.H
+	f := func(rawX, rawY uint16) bool {
+		x, y := int(rawX)%w, int(rawY)%h
+		var want float64
+		for yy := 0; yy <= y; yy++ {
+			for xx := 0; xx <= x; xx++ {
+				want += float64(fs.img.At(xx, yy))
+			}
+		}
+		got := float64(fs.integral.At(x, y))
+		diff := got - want
+		return diff <= want*1e-3+64 && diff >= -want*1e-3-64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeatureDetectsBlobsNotFlatness(t *testing.T) {
+	// The blob scene must produce detections.
+	fs := buildFeatState(t, 0.06, 4, 2, 5)
+	if fs.numFeat < 4 {
+		t.Errorf("blob scene yielded only %d detections", fs.numFeat)
+	}
+	// A flat image must produce none: rebuild with an all-constant scene.
+	p := Params{Size: SizeA, Scale: 0.06, Shards: 4, Seed: 5}
+	inst := BuildFeature(p)
+	flat := inst.Program.Phases[0].Tasks[0].Stream.(*featRowShard).fs
+	for i := range flat.img.Pix {
+		flat.img.Pix[i] = 128
+	}
+	runProgramNoVerify(t, inst, 2)
+	if flat.numFeat != 0 {
+		t.Errorf("flat image yielded %d detections, want 0", flat.numFeat)
+	}
+}
+
+func TestFeatureBoxSumMatchesIntegral(t *testing.T) {
+	fs := buildFeatState(t, 0.05, 4, 2, 9)
+	// boxSum over a probe rectangle equals the brute-force sum.
+	buf := make([]isa.Instr, 64)
+	e := isa.NewEmitter(buf)
+	x0, y0, x1, y1 := 4, 4, 12, 10
+	got := float64(fs.boxSum(e, x0-1, y0-1, x1, y1))
+	var want float64
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			want += float64(fs.img.At(x, y))
+		}
+	}
+	if diff := got - want; diff > want*1e-3+8 || diff < -want*1e-3-8 {
+		t.Errorf("boxSum = %.0f, want %.0f", got, want)
+	}
+	if e.Len() != 4 {
+		t.Errorf("boxSum emitted %d loads, want 4 corners", e.Len())
+	}
+}
+
+func TestFeaturePhaseStructure(t *testing.T) {
+	inst := BuildFeature(Params{Size: SizeA, Scale: 0.05, Shards: 8, Seed: 2})
+	names := []string{"integral-rows", "integral-cols", "hessian", "extrema"}
+	if len(inst.Program.Phases) != len(names) {
+		t.Fatalf("phases = %d, want %d", len(inst.Program.Phases), len(names))
+	}
+	for i, ph := range inst.Program.Phases {
+		if ph.Name != names[i] {
+			t.Errorf("phase %d = %q, want %q", i, ph.Name, names[i])
+		}
+	}
+}
+
+// runProgramNoVerify drains a program without calling Verify (used when a
+// test mutates inputs after build).
+func runProgramNoVerify(t *testing.T, inst *Instance, cores int) {
+	t.Helper()
+	runProgram(t, inst, cores)
+}

@@ -1,0 +1,223 @@
+// Package workloads implements the paper's Table 1 kernels — sobel,
+// feature (SURF-style extraction), kmeans, disparity, texture, and segment
+// — as real Go computations over synthetic images that simultaneously emit
+// their instruction and address streams to the architectural simulator.
+// Every kernel produces a phased rt.Program whose memory accesses are the
+// genuine addresses the computation touches, so cache and bandwidth
+// behaviour in the simulator tracks the real access patterns.
+package workloads
+
+import (
+	"fmt"
+
+	"sprinting/internal/isa"
+)
+
+// xorshift is the deterministic PRNG used for synthetic content; it is
+// seeded per instance so identical parameters give identical images.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := *x
+	if v == 0 {
+		v = 0x9e3779b97f4a7c15
+	}
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = v
+	return uint64(v)
+}
+
+func (x *xorshift) float() float64 {
+	return float64(x.next()>>11) / float64(1<<53)
+}
+
+// ImageU8 is a grayscale byte image mapped into the simulated address
+// space (1 byte per pixel, as camera pipelines use).
+type ImageU8 struct {
+	W, H int
+	Pix  []uint8
+	Base uint64
+}
+
+// NewImageU8 allocates a W×H byte image in the address space.
+func NewImageU8(space *isa.AddressSpace, w, h int) *ImageU8 {
+	return &ImageU8{W: w, H: h, Pix: make([]uint8, w*h), Base: space.Alloc(uint64(w * h))}
+}
+
+// At returns the pixel value at (x, y).
+func (im *ImageU8) At(x, y int) uint8 { return im.Pix[y*im.W+x] }
+
+// Set writes the pixel value at (x, y).
+func (im *ImageU8) Set(x, y int, v uint8) { im.Pix[y*im.W+x] = v }
+
+// Addr returns the simulated address of pixel (x, y).
+func (im *ImageU8) Addr(x, y int) uint64 { return im.Base + uint64(y*im.W+x) }
+
+// ImageF32 is a float32 plane (integral images, responses, cost buffers).
+type ImageF32 struct {
+	W, H int
+	Pix  []float32
+	Base uint64
+}
+
+// NewImageF32 allocates a W×H float32 plane in the address space.
+func NewImageF32(space *isa.AddressSpace, w, h int) *ImageF32 {
+	return &ImageF32{W: w, H: h, Pix: make([]float32, w*h), Base: space.Alloc(uint64(w * h * 4))}
+}
+
+// At returns the value at (x, y).
+func (im *ImageF32) At(x, y int) float32 { return im.Pix[y*im.W+x] }
+
+// Set writes the value at (x, y).
+func (im *ImageF32) Set(x, y int, v float32) { im.Pix[y*im.W+x] = v }
+
+// Addr returns the simulated address of element (x, y).
+func (im *ImageF32) Addr(x, y int) uint64 { return im.Base + uint64((y*im.W+x)*4) }
+
+// SceneKind selects the synthetic content generator.
+type SceneKind int
+
+// Scene kinds.
+const (
+	// SceneNatural mixes low-frequency gradients, sinusoidal texture and
+	// noise — a stand-in for camera photos.
+	SceneNatural SceneKind = iota
+	// SceneBlobs scatters bright elliptical blobs on a dark background —
+	// feature-rich content for the SURF-style kernel.
+	SceneBlobs
+)
+
+// FillScene renders deterministic synthetic content into im.
+func FillScene(im *ImageU8, kind SceneKind, seed int64) {
+	rng := xorshift(uint64(seed)*2654435761 + 1)
+	switch kind {
+	case SceneBlobs:
+		for i := range im.Pix {
+			im.Pix[i] = 16
+		}
+		nBlobs := (im.W*im.H)/4096 + 8
+		for b := 0; b < nBlobs; b++ {
+			cx := int(rng.next() % uint64(im.W))
+			cy := int(rng.next() % uint64(im.H))
+			r := 2 + int(rng.next()%9)
+			amp := 120 + int(rng.next()%120)
+			for y := cy - r; y <= cy+r; y++ {
+				for x := cx - r; x <= cx+r; x++ {
+					if x < 0 || y < 0 || x >= im.W || y >= im.H {
+						continue
+					}
+					dx, dy := x-cx, y-cy
+					d2 := dx*dx + dy*dy
+					if d2 > r*r {
+						continue
+					}
+					v := int(im.At(x, y)) + amp*(r*r-d2)/(r*r)
+					if v > 255 {
+						v = 255
+					}
+					im.Set(x, y, uint8(v))
+				}
+			}
+		}
+	default: // SceneNatural
+		for y := 0; y < im.H; y++ {
+			for x := 0; x < im.W; x++ {
+				v := 90 +
+					60*sin01(float64(x)*0.021+float64(seed%7)) +
+					45*sin01(float64(y)*0.017) +
+					30*sin01(float64(x+y)*0.009) +
+					24*(rng.float()-0.5)
+				if v < 0 {
+					v = 0
+				}
+				if v > 255 {
+					v = 255
+				}
+				im.Set(x, y, uint8(v))
+			}
+		}
+	}
+}
+
+// sin01 is a cheap smooth oscillator in [-1, 1] (Bhaskara approximation,
+// keeping the generator free of math.Sin for speed on large images).
+func sin01(t float64) float64 {
+	// Wrap t into [0, 2π).
+	const twoPi = 6.283185307179586
+	t -= float64(int(t/twoPi)) * twoPi
+	if t < 0 {
+		t += twoPi
+	}
+	neg := false
+	if t > 3.141592653589793 {
+		t -= 3.141592653589793
+		neg = true
+	}
+	v := 16 * t * (3.141592653589793 - t) / (49.3480220054468 - 4*t*(3.141592653589793-t))
+	if neg {
+		return -v
+	}
+	return v
+}
+
+// StereoPair renders a left image and a right image in which content is
+// shifted left by a per-band disparity (larger for lower bands, like a
+// ground plane), for the disparity kernel.
+func StereoPair(space *isa.AddressSpace, w, h int, maxDisp int, seed int64) (left, right *ImageU8, truth []int) {
+	left = NewImageU8(space, w, h)
+	right = NewImageU8(space, w, h)
+	FillScene(left, SceneNatural, seed)
+	truth = make([]int, h)
+	bands := 4
+	for y := 0; y < h; y++ {
+		d := (y * bands / h) * maxDisp / bands
+		if d >= maxDisp {
+			d = maxDisp - 1
+		}
+		truth[y] = d
+		for x := 0; x < w; x++ {
+			sx := x + d
+			if sx >= w {
+				sx = w - 1
+			}
+			right.Set(x, y, left.At(sx, y))
+		}
+	}
+	return left, right, truth
+}
+
+// sizePixels converts a megapixel figure to integer dimensions with a 4:3
+// aspect ratio, rounded to multiples of 8.
+func sizePixels(megapixels float64) (w, h int) {
+	if megapixels <= 0 {
+		megapixels = 0.01
+	}
+	px := megapixels * 1e6
+	// w/h = 4/3 ⇒ w = sqrt(px·4/3)
+	wf := sqrt(px * 4.0 / 3.0)
+	w = int(wf/8) * 8
+	if w < 16 {
+		w = 16
+	}
+	h = int(px/float64(w)/8) * 8
+	if h < 16 {
+		h = 16
+	}
+	return w, h
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 40; i++ {
+		x = 0.5 * (x + v/x)
+	}
+	return x
+}
+
+// fmtDims renders dimensions for instance metadata.
+func fmtDims(w, h int) string { return fmt.Sprintf("%dx%d", w, h) }

@@ -1,0 +1,263 @@
+package workloads
+
+import (
+	"fmt"
+
+	"sprinting/internal/isa"
+	"sprinting/internal/rt"
+)
+
+// kmeans parameters: K clusters over D-dimensional points, a fixed number
+// of Lloyd iterations (the paper's kernel runs to a fixed budget, OpenMP
+// parallel over points).
+const (
+	kmK     = 8
+	kmD     = 4
+	kmIters = 3
+)
+
+// BuildKMeans constructs the kmeans kernel: each iteration is an assign
+// phase (parallel over point shards, accumulating per-shard partial sums)
+// followed by an update phase (parallel over clusters, reducing the shard
+// partials into new centroids). Compute-bound with an LLC-resident working
+// set, so it scales to 64 cores (Figure 10).
+func BuildKMeans(p Params) *Instance {
+	p = p.withDefaults()
+	// Points scale with the size class: reuse the megapixel knob as a
+	// point-count knob (0.12 Mpix ⇒ 90k points at the 0.75 factor).
+	n := int(megapixelsFor(p.Size, p.Scale) * 0.75e6)
+	if n < 1024 {
+		n = 1024
+	}
+	space := isa.NewAddressSpace(64)
+	km := &kmeansState{
+		n:      n,
+		shards: p.Shards,
+		points: make([]float32, n*kmD),
+		assign: make([]int32, n),
+		cent:   make([]float32, kmK*kmD),
+	}
+	km.pointsBase = space.Alloc(uint64(n * kmD * 4))
+	km.assignBase = space.Alloc(uint64(n * 4))
+	km.centBase = space.Alloc(uint64(kmK * kmD * 4))
+	// partial[shard][k][d] sums plus counts[shard][k].
+	km.partial = make([]float32, p.Shards*kmK*kmD)
+	km.counts = make([]int32, p.Shards*kmK)
+	km.partialBase = space.Alloc(uint64(len(km.partial) * 4))
+	km.countsBase = space.Alloc(uint64(len(km.counts) * 4))
+
+	rng := xorshift(uint64(p.Seed)*7919 + 3)
+	// Draw points around kmK well-separated hubs so clustering is
+	// meaningful and verifiable.
+	for i := 0; i < n; i++ {
+		hub := i % kmK
+		for d := 0; d < kmD; d++ {
+			center := float32(hub*10 + d)
+			km.points[i*kmD+d] = center + float32(rng.float()*2-1)
+		}
+	}
+	// Initialize centroids at the first kmK points (standard Forgy).
+	for k := 0; k < kmK; k++ {
+		copy(km.cent[k*kmD:(k+1)*kmD], km.points[k*kmD:(k+1)*kmD])
+	}
+
+	prog := rt.Program{Name: "kmeans"}
+	for it := 0; it < kmIters; it++ {
+		// Assign tasks are built explicitly (not via ShardStreams) because
+		// each needs its own shard index for the partial-sum buffers.
+		assignTasks := make([]rt.Task, 0, p.Shards)
+		for si := 0; si < p.Shards; si++ {
+			lo, hi := n*si/p.Shards, n*(si+1)/p.Shards
+			if lo >= hi {
+				continue
+			}
+			assignTasks = append(assignTasks, rt.Task{
+				Name:   fmt.Sprintf("assign%d[%d]", it, si),
+				Stream: &kmAssignShard{km: km, shard: si, i: lo, end: hi},
+			})
+		}
+		updateTasks := rt.ShardStreams(fmt.Sprintf("update%d", it), kmK, kmK,
+			func(lo, hi int) isa.Stream {
+				return &kmUpdateShard{km: km, k: lo, end: hi}
+			})
+		prog.Phases = append(prog.Phases,
+			rt.Phase{Name: fmt.Sprintf("assign-%d", it), Tasks: assignTasks},
+			rt.Phase{Name: fmt.Sprintf("update-%d", it), Tasks: updateTasks},
+		)
+	}
+
+	inst := &Instance{
+		Kernel:    "kmeans",
+		Detail:    fmt.Sprintf("%d points, K=%d, D=%d, %d iters", n, kmK, kmD, kmIters),
+		Program:   prog,
+		Space:     space,
+		WorkItems: n,
+	}
+	inst.Verify = func() error { return km.verify() }
+	return inst
+}
+
+// kmeansState is the shared real data.
+type kmeansState struct {
+	n, shards int
+	points    []float32
+	assign    []int32
+	cent      []float32
+	partial   []float32
+	counts    []int32
+
+	pointsBase, assignBase, centBase, partialBase, countsBase uint64
+}
+
+func (km *kmeansState) pointAddr(i, d int) uint64 { return km.pointsBase + uint64((i*kmD+d)*4) }
+func (km *kmeansState) centAddr(k, d int) uint64  { return km.centBase + uint64((k*kmD+d)*4) }
+func (km *kmeansState) partialAddr(s, k, d int) uint64 {
+	return km.partialBase + uint64(((s*kmK+k)*kmD+d)*4)
+}
+func (km *kmeansState) countAddr(s, k int) uint64 { return km.countsBase + uint64((s*kmK+k)*4) }
+
+// kmAssignShard assigns points [i, end) to the nearest centroid and
+// accumulates partial sums for its shard slot.
+type kmAssignShard struct {
+	km       *kmeansState
+	shard    int
+	i, end   int
+	prepared bool
+}
+
+func (s *kmAssignShard) Next(buf []isa.Instr) int {
+	km := s.km
+	e := isa.NewEmitter(buf)
+	if !s.prepared {
+		// Zero this shard's partial accumulators (real + emitted).
+		need := kmK*kmD + kmK + 2
+		if len(buf) < need {
+			return 0
+		}
+		for k := 0; k < kmK; k++ {
+			for d := 0; d < kmD; d++ {
+				km.partial[(s.shard*kmK+k)*kmD+d] = 0
+				e.Store(km.partialAddr(s.shard, k, d))
+			}
+			km.counts[s.shard*kmK+k] = 0
+			e.Store(km.countAddr(s.shard, k))
+		}
+		e.Compute(uint32(kmK * kmD))
+		s.prepared = true
+		return e.Len()
+	}
+	// Per point: load D coords, distance to K centroids (centroids are
+	// L1-hot), pick min, store assignment, accumulate partials.
+	const perPoint = kmD + 2 + 1 + 2*(kmD+1) + 4
+	for s.i < s.end {
+		if len(buf)-e.Len() < perPoint {
+			return e.Len()
+		}
+		i := s.i
+		s.i++
+		var pt [kmD]float32
+		for d := 0; d < kmD; d++ {
+			pt[d] = km.points[i*kmD+d]
+			e.Load(km.pointAddr(i, d))
+		}
+		best, bestDist := 0, float32(0)
+		for k := 0; k < kmK; k++ {
+			var dist float32
+			for d := 0; d < kmD; d++ {
+				diff := pt[d] - km.cent[k*kmD+d]
+				dist += diff * diff
+			}
+			if k == 0 || dist < bestDist {
+				best, bestDist = k, dist
+			}
+		}
+		// Distance math: K×D mul+add+sub ≈ 3·K·D ops plus K compares.
+		e.Compute(uint32(3*kmK*kmD + kmK))
+		km.assign[i] = int32(best)
+		e.Store(km.assignBase + uint64(i*4))
+		for d := 0; d < kmD; d++ {
+			km.partial[(s.shard*kmK+best)*kmD+d] += pt[d]
+			e.Load(km.partialAddr(s.shard, best, d))
+			e.Store(km.partialAddr(s.shard, best, d))
+		}
+		km.counts[s.shard*kmK+best]++
+		e.Load(km.countAddr(s.shard, best))
+		e.Store(km.countAddr(s.shard, best))
+		e.Compute(uint32(kmD + 1))
+	}
+	return e.Len()
+}
+
+// kmUpdateShard reduces the shard partials for clusters [k, end) into new
+// centroids.
+type kmUpdateShard struct {
+	km     *kmeansState
+	k, end int
+	sh     int // reduction cursor within the current cluster
+	sum    [kmD]float32
+	cnt    int32
+}
+
+func (s *kmUpdateShard) Next(buf []isa.Instr) int {
+	km := s.km
+	e := isa.NewEmitter(buf)
+	const perShard = kmD + 1 + 1
+	for s.k < s.end {
+		if len(buf)-e.Len() < perShard+kmD+2 {
+			return e.Len()
+		}
+		if s.sh < km.shards {
+			for d := 0; d < kmD; d++ {
+				s.sum[d] += km.partial[(s.sh*kmK+s.k)*kmD+d]
+				e.Load(km.partialAddr(s.sh, s.k, d))
+			}
+			s.cnt += km.counts[s.sh*kmK+s.k]
+			e.Load(km.countAddr(s.sh, s.k))
+			e.Compute(kmD + 1)
+			s.sh++
+			continue
+		}
+		// Finalize this cluster.
+		if s.cnt > 0 {
+			for d := 0; d < kmD; d++ {
+				km.cent[s.k*kmD+d] = s.sum[d] / float32(s.cnt)
+				e.Store(km.centAddr(s.k, d))
+			}
+			e.Compute(kmD)
+		}
+		s.k++
+		s.sh = 0
+		s.sum = [kmD]float32{}
+		s.cnt = 0
+	}
+	return e.Len()
+}
+
+// verify checks that the final assignment is consistent with the final
+// centroids (every point mapped to its nearest centroid) and that the
+// clustering found the planted hubs (low within-cluster scatter).
+func (km *kmeansState) verify() error {
+	step := km.n/500 + 1
+	for i := 0; i < km.n; i += step {
+		best, bestDist := 0, float32(0)
+		for k := 0; k < kmK; k++ {
+			var dist float32
+			for d := 0; d < kmD; d++ {
+				diff := km.points[i*kmD+d] - km.cent[k*kmD+d]
+				dist += diff * diff
+			}
+			if k == 0 || dist < bestDist {
+				best, bestDist = k, dist
+			}
+		}
+		if int32(best) != km.assign[i] {
+			return fmt.Errorf("kmeans: point %d assigned to %d, nearest is %d", i, km.assign[i], best)
+		}
+		// Planted hubs are 10 apart per dimension; a converged clustering
+		// puts every sampled point within a few units of its centroid.
+		if bestDist > 25 {
+			return fmt.Errorf("kmeans: point %d is %.1f² from its centroid; clustering failed", i, bestDist)
+		}
+	}
+	return nil
+}

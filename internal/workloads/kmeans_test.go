@@ -1,0 +1,126 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+)
+
+// buildKMState builds and drains a kmeans instance, returning its state.
+func buildKMState(t *testing.T, scale float64, shards, cores int) *kmeansState {
+	t.Helper()
+	p := Params{Size: SizeA, Scale: scale, Shards: shards, Seed: 9}
+	inst := BuildKMeans(p)
+	runProgram(t, inst, cores)
+	// The first assign task of the first phase holds the shared state.
+	return inst.Program.Phases[0].Tasks[0].Stream.(*kmAssignShard).km
+}
+
+// cost computes the k-means objective: total squared distance of points to
+// their assigned centroids.
+func cost(km *kmeansState) float64 {
+	total := 0.0
+	for i := 0; i < km.n; i++ {
+		k := int(km.assign[i])
+		for d := 0; d < kmD; d++ {
+			diff := float64(km.points[i*kmD+d] - km.cent[k*kmD+d])
+			total += diff * diff
+		}
+	}
+	return total
+}
+
+func TestKMeansRecoversPlantedHubs(t *testing.T) {
+	km := buildKMState(t, 0.3, 8, 4)
+	// Points were planted around kmK hubs spaced 10 apart; after the
+	// iterations every sampled point sits close to its centroid.
+	if err := km.verify(); err != nil {
+		t.Fatal(err)
+	}
+	// All kmK clusters should be populated (hubs have equal weight).
+	pop := make([]int, kmK)
+	for i := 0; i < km.n; i++ {
+		pop[km.assign[i]]++
+	}
+	for k, n := range pop {
+		if n == 0 {
+			t.Errorf("cluster %d empty; hub recovery failed", k)
+		}
+	}
+}
+
+func TestKMeansCentroidsMatchPartialSums(t *testing.T) {
+	km := buildKMState(t, 0.2, 4, 2)
+	// Recompute each centroid directly from the final assignment: it must
+	// equal the reduction the update phase performed.
+	for k := 0; k < kmK; k++ {
+		var sum [kmD]float64
+		n := 0
+		for i := 0; i < km.n; i++ {
+			if int(km.assign[i]) != k {
+				continue
+			}
+			n++
+			for d := 0; d < kmD; d++ {
+				sum[d] += float64(km.points[i*kmD+d])
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		for d := 0; d < kmD; d++ {
+			want := sum[d] / float64(n)
+			got := float64(km.cent[k*kmD+d])
+			if math.Abs(got-want) > 1e-2 {
+				t.Errorf("centroid %d dim %d = %v, want %v", k, d, got, want)
+			}
+		}
+	}
+}
+
+func TestKMeansCostIsLow(t *testing.T) {
+	km := buildKMState(t, 0.2, 4, 2)
+	// With unit-radius hubs and converged centroids, the mean squared
+	// distance per point per dimension is bounded by the hub radius².
+	perPointDim := cost(km) / float64(km.n*kmD)
+	if perPointDim > 1.0 {
+		t.Errorf("mean squared residual %.3f too large; clustering failed", perPointDim)
+	}
+}
+
+func TestKMeansShardInvariance(t *testing.T) {
+	a := buildKMState(t, 0.15, 2, 1)
+	b := buildKMState(t, 0.15, 16, 4)
+	if a.n != b.n {
+		t.Fatal("sizes differ")
+	}
+	for k := 0; k < kmK*kmD; k++ {
+		if math.Abs(float64(a.cent[k]-b.cent[k])) > 1e-3 {
+			t.Fatalf("centroid %d differs across shardings: %v vs %v", k, a.cent[k], b.cent[k])
+		}
+	}
+}
+
+func TestKMeansMinimumSize(t *testing.T) {
+	// Tiny scale clamps to the minimum point count and still works.
+	p := Params{Size: SizeA, Scale: 1e-6, Shards: 4, Seed: 1}
+	inst := BuildKMeans(p)
+	runProgram(t, inst, 2)
+	if err := inst.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.WorkItems < 1024 {
+		t.Errorf("point count %d below documented minimum", inst.WorkItems)
+	}
+}
+
+func TestKMeansPhaseStructure(t *testing.T) {
+	inst := BuildKMeans(Params{Size: SizeA, Scale: 0.1, Shards: 8, Seed: 2})
+	if got := len(inst.Program.Phases); got != 2*kmIters {
+		t.Fatalf("phases = %d, want %d (assign+update per iteration)", got, 2*kmIters)
+	}
+	for i, ph := range inst.Program.Phases {
+		if i%2 == 1 && len(ph.Tasks) > kmK {
+			t.Errorf("update phase %d has %d tasks, cap is %d clusters", i, len(ph.Tasks), kmK)
+		}
+	}
+}

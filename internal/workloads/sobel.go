@@ -1,0 +1,130 @@
+package workloads
+
+import (
+	"fmt"
+
+	"sprinting/internal/isa"
+	"sprinting/internal/rt"
+)
+
+// BuildSobel constructs the sobel kernel: 3×3 Sobel edge detection over a
+// synthetic grayscale image, parallelized OpenMP-style as row bands in a
+// single phase (Table 1). Per interior pixel the kernel loads the nine
+// neighbours, computes both gradients and the magnitude, and stores the
+// result — the emitted instruction stream is exactly that sequence.
+func BuildSobel(p Params) *Instance {
+	p = p.withDefaults()
+	// Sobel is cheap per pixel, so its size classes are 12× the base table
+	// (camera-frame resolutions) to keep its runtime comparable to the
+	// other kernels.
+	w, h := sizePixels(megapixelsFor(p.Size, p.Scale) * 12)
+	space := isa.NewAddressSpace(64)
+	in := NewImageU8(space, w, h)
+	out := NewImageU8(space, w, h)
+	FillScene(in, SceneNatural, p.Seed)
+
+	tasks := rt.ShardStreams("sobel", h, p.Shards, func(lo, hi int) isa.Stream {
+		return &sobelShard{in: in, out: out, y: lo, yEnd: hi}
+	})
+	inst := &Instance{
+		Kernel:    "sobel",
+		Detail:    fmt.Sprintf("%s (%.2f Mpix)", fmtDims(w, h), float64(w*h)/1e6),
+		Program:   rt.Program{Name: "sobel", Phases: []rt.Phase{{Name: "filter", Tasks: tasks}}},
+		Space:     space,
+		WorkItems: w * h,
+	}
+	inst.Verify = func() error { return verifySobel(in, out) }
+	return inst
+}
+
+// sobelShard computes rows [y, yEnd) and emits the access stream.
+type sobelShard struct {
+	in, out *ImageU8
+	y, yEnd int
+	x       int
+}
+
+// sobelComputeOps is the modeled ALU work per interior pixel: 6 signed
+// adds/subs per gradient ×2, magnitude, clamp, and loop/address overhead.
+const sobelComputeOps = 14
+
+func (s *sobelShard) Next(buf []isa.Instr) int {
+	e := isa.NewEmitter(buf)
+	const perPixel = 12 // 9 loads + ≤2 compute entries + 1 store
+	for s.y < s.yEnd {
+		if len(buf)-e.Len() < perPixel {
+			return e.Len()
+		}
+		x, y := s.x, s.y
+		s.x++
+		if s.x >= s.in.W {
+			s.x = 0
+			s.y++
+		}
+		if x == 0 || y == 0 || x == s.in.W-1 || y == s.in.H-1 {
+			// Border: just zero the output.
+			s.out.Set(x, y, 0)
+			e.Compute(2)
+			e.Store(s.out.Addr(x, y))
+			continue
+		}
+		// Real computation and emission together.
+		var gx, gy int
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				v := int(s.in.At(x+dx, y+dy))
+				e.Load(s.in.Addr(x+dx, y+dy))
+				gx += v * sobelKx[dy+1][dx+1]
+				gy += v * sobelKy[dy+1][dx+1]
+			}
+		}
+		mag := iabs(gx) + iabs(gy)
+		if mag > 255 {
+			mag = 255
+		}
+		s.out.Set(x, y, uint8(mag))
+		e.Compute(sobelComputeOps)
+		e.Store(s.out.Addr(x, y))
+	}
+	return e.Len()
+}
+
+var (
+	sobelKx = [3][3]int{{-1, 0, 1}, {-2, 0, 2}, {-1, 0, 1}}
+	sobelKy = [3][3]int{{-1, -2, -1}, {0, 0, 0}, {1, 2, 1}}
+)
+
+func iabs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// verifySobel recomputes a deterministic sample of pixels naively and
+// compares with the kernel's output.
+func verifySobel(in, out *ImageU8) error {
+	step := in.W*in.H/1000 + 1
+	for i := 0; i < in.W*in.H; i += step {
+		x, y := i%in.W, i/in.W
+		want := 0
+		if x > 0 && y > 0 && x < in.W-1 && y < in.H-1 {
+			gx, gy := 0, 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					v := int(in.At(x+dx, y+dy))
+					gx += v * sobelKx[dy+1][dx+1]
+					gy += v * sobelKy[dy+1][dx+1]
+				}
+			}
+			want = iabs(gx) + iabs(gy)
+			if want > 255 {
+				want = 255
+			}
+		}
+		if got := int(out.At(x, y)); got != want {
+			return fmt.Errorf("sobel: pixel (%d,%d) = %d, want %d", x, y, got, want)
+		}
+	}
+	return nil
+}

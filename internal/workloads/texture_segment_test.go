@@ -1,0 +1,135 @@
+package workloads
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func buildTexState(t *testing.T, scale float64, shards, cores int) *texState {
+	t.Helper()
+	p := Params{Size: SizeA, Scale: scale, Shards: shards, Seed: 17}
+	inst := BuildTexture(p)
+	runProgram(t, inst, cores)
+	return inst.Program.Phases[0].Tasks[0].Stream.(*texBlendShard).ts
+}
+
+func TestTextureFullReference(t *testing.T) {
+	ts := buildTexState(t, 0.03, 4, 2)
+	w, h := ts.canvas.W, ts.canvas.H
+	for y := 0; y < h; y += 2 {
+		for x := 0; x < w; x += 3 {
+			var want uint8
+			for l := 0; l < texLayers; l++ {
+				want = ts.blendPixel(want, l, x, y)
+			}
+			if got := ts.canvas.At(x, y); got != want {
+				t.Fatalf("canvas (%d,%d) = %d, want %d", x, y, got, want)
+			}
+		}
+	}
+}
+
+// TestTextureBlendBounded: the blend arithmetic never overflows a byte for
+// any inputs (property-based over the blend inputs).
+func TestTextureBlendBounded(t *testing.T) {
+	ts := buildTexState(t, 0.02, 2, 1)
+	f := func(prev uint8, rawL uint8, rawX, rawY uint16) bool {
+		l := int(rawL) % texLayers
+		x := int(rawX) % ts.canvas.W
+		y := int(rawY) % ts.canvas.H
+		out := ts.blendPixel(prev, l, x, y)
+		// uint8 can't escape [0,255]; the property is that blending with
+		// alpha a keeps the result between the two inputs' extremes.
+		im := ts.layers[l]
+		sx := (x + ts.offsets[l][0]) % im.W
+		sy := (y + ts.offsets[l][1]) % im.H
+		lo, hi := prev, im.At(sx, sy)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return out >= lo-1 || out <= hi+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextureSerialTail(t *testing.T) {
+	inst := BuildTexture(Params{Size: SizeA, Scale: 0.03, Shards: 32, Seed: 3})
+	phases := inst.Program.Phases
+	if phases[len(phases)-1].Name != "tonemap" {
+		t.Fatal("texture should end with the tonemap gather")
+	}
+	if len(phases[len(phases)-1].Tasks) != 1 {
+		t.Error("tonemap must be serial")
+	}
+	if len(phases) != texLayers+1 {
+		t.Errorf("phases = %d, want %d layers + tonemap", len(phases), texLayers+1)
+	}
+}
+
+func buildSegState(t *testing.T, scale float64, shards, cores int) *segState {
+	t.Helper()
+	p := Params{Size: SizeA, Scale: scale, Shards: shards, Seed: 23}
+	inst := BuildSegment(p)
+	runProgram(t, inst, cores)
+	return inst.Program.Phases[0].Tasks[0].Stream.(*segClassifyShard).gs
+}
+
+func TestSegmentClassifyNearestCentre(t *testing.T) {
+	gs := buildSegState(t, 0.04, 4, 2)
+	// classify() must return the centre with minimal |v − centre| for all
+	// 256 intensities.
+	for v := 0; v < 256; v++ {
+		got := int(gs.classify(uint8(v)))
+		best, bestD := 0, 1<<30
+		for k := 0; k < segClasses; k++ {
+			d := v - int(gs.centers[k])
+			if d < 0 {
+				d = -d
+			}
+			if d < bestD {
+				best, bestD = k, d
+			}
+		}
+		if got != best {
+			t.Fatalf("classify(%d) = %d, want %d", v, got, best)
+		}
+	}
+}
+
+func TestSegmentHistogramSumsToPixels(t *testing.T) {
+	gs := buildSegState(t, 0.04, 4, 2)
+	var total int64
+	for half := 0; half < 2; half++ {
+		for k := 0; k < segClasses; k++ {
+			total += gs.hist[half][k]
+		}
+	}
+	if want := int64(gs.img.W * gs.img.H); total != want {
+		t.Errorf("histogram total = %d, want %d", total, want)
+	}
+}
+
+func TestSegmentMergeMapTargetsPopulated(t *testing.T) {
+	gs := buildSegState(t, 0.04, 4, 2)
+	n := int64(gs.labels.W * gs.labels.H)
+	minPop := int64(float64(n) * segMinFrac)
+	for k := 0; k < segClasses; k++ {
+		target := gs.remap[k]
+		pop := gs.hist[0][target] + gs.hist[1][target]
+		if int(target) != k && pop < minPop {
+			t.Errorf("class %d merged into under-populated class %d", k, target)
+		}
+	}
+}
+
+func TestSegmentRemapIdempotent(t *testing.T) {
+	gs := buildSegState(t, 0.04, 4, 2)
+	// remap∘remap = remap: merged classes point at stable classes.
+	for k := 0; k < segClasses; k++ {
+		if gs.remap[gs.remap[k]] != gs.remap[k] {
+			t.Errorf("remap not idempotent at class %d: %d -> %d", k, gs.remap[k], gs.remap[gs.remap[k]])
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package sprinting is a full reproduction of "Computational Sprinting"
+// (Raghavan, Luo, Chandawalla, Papaefthymiou, Pipe, Wenisch, Martin — HPCA
+// 2012) as a Go library: a many-core architectural simulator, an RC/PCM
+// thermal model, an RLC power-delivery simulator, battery/ultracapacitor
+// models, the sprint runtime, and the six vision kernels of the paper's
+// evaluation, together with drivers that regenerate every table and figure.
+//
+// The central idea: a mobile chip that can sustain only ~1 W activates up
+// to 16 dark-silicon cores for sub-second bursts — exceeding its thermal
+// design power by an order of magnitude — buffering the heat in the latent
+// capacity of a phase-change material, then cools back down. This facade
+// exposes the library's primary operations; see the examples directory for
+// runnable scenarios, and cmd/sprintbench to regenerate the paper's
+// evaluation.
+package sprinting
+
+import (
+	"fmt"
+	"io"
+
+	"sprinting/internal/core"
+	"sprinting/internal/experiments"
+	"sprinting/internal/governor"
+	"sprinting/internal/powergrid"
+	"sprinting/internal/powersource"
+	"sprinting/internal/session"
+	"sprinting/internal/table"
+	"sprinting/internal/thermal"
+	"sprinting/internal/workloads"
+)
+
+// Policy selects the execution mode of a run.
+type Policy = core.Policy
+
+// Execution policies.
+const (
+	// Sustained runs one ≈1 W core — the non-sprinting baseline.
+	Sustained = core.Sustained
+	// ParallelSprint activates the sprint cores until the thermal budget
+	// is exhausted (the paper's headline mechanism).
+	ParallelSprint = core.ParallelSprint
+	// DVFSSprint boosts one core to ∛16 ≈ 2.5× frequency at 16× power
+	// (the paper's §8.4 comparison).
+	DVFSSprint = core.DVFSSprint
+)
+
+// Config parameterizes a sprint-system run; see DefaultConfig.
+type Config = core.Config
+
+// Result is the outcome of one run.
+type Result = core.Result
+
+// DefaultConfig returns the paper's 16-core, 150 mg-PCM smartphone design
+// point for the given policy.
+func DefaultConfig(policy Policy) Config { return core.DefaultConfig(policy) }
+
+// LimitedConfig returns the §8.3 thermally constrained design point
+// (1.5 mg of PCM, 100× less) for the given policy.
+func LimitedConfig(policy Policy) Config {
+	cfg := core.DefaultConfig(policy)
+	cfg.Thermal = thermal.LimitedStackConfig()
+	return cfg
+}
+
+// SizeClass selects a kernel input size (A smallest … D largest).
+type SizeClass = workloads.SizeClass
+
+// Input sizes.
+const (
+	SizeA = workloads.SizeA
+	SizeB = workloads.SizeB
+	SizeC = workloads.SizeC
+	SizeD = workloads.SizeD
+)
+
+// Kernel describes one Table 1 workload.
+type Kernel = workloads.Kernel
+
+// Kernels returns the paper's six evaluation kernels.
+func Kernels() []Kernel { return workloads.All() }
+
+// RunKernel builds the named kernel at the given size and executes it under
+// cfg, returning the run result. Each call builds fresh inputs, so results
+// are reproducible and independent.
+func RunKernel(kernel string, size SizeClass, cfg Config) (Result, error) {
+	k, err := workloads.ByName(kernel)
+	if err != nil {
+		return Result{}, err
+	}
+	inst := k.Build(workloads.Params{Size: size, Shards: 64})
+	res, err := core.Run(inst.Program, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if verr := inst.Verify(); verr != nil {
+		return res, fmt.Errorf("sprinting: kernel output verification failed: %w", verr)
+	}
+	return res, nil
+}
+
+// ThermalDesign is the Figure 3 stack configuration.
+type ThermalDesign = thermal.StackConfig
+
+// DefaultThermalDesign returns the 150 mg PCM design; its melting point,
+// mass, and resistances can be adjusted for design-space exploration.
+func DefaultThermalDesign() ThermalDesign { return thermal.DefaultStackConfig() }
+
+// SprintTransient is the Figure 4(a) result type.
+type SprintTransient = thermal.SprintTransient
+
+// SimulateSprintThermals runs a constant-power sprint on the given design
+// from cold until the junction reaches TJmax (Figure 4a).
+func SimulateSprintThermals(d ThermalDesign, powerW float64) SprintTransient {
+	return thermal.SimulateSprint(d, powerW, 1e-4, 10)
+}
+
+// CooldownTransient is the Figure 4(b) result type.
+type CooldownTransient = thermal.CooldownTransient
+
+// SimulateCooldownThermals runs a sprint followed by idle cooling
+// (Figure 4b), with times measured from the start of cooldown.
+func SimulateCooldownThermals(d ThermalDesign, powerW float64) CooldownTransient {
+	return thermal.SimulateCooldown(d, powerW, 0, 1e-3, 5, 200, 3)
+}
+
+// ActivationResult is the Figure 6 supply-integrity result.
+type ActivationResult = powergrid.Result
+
+// SimulateActivation runs the §5 power-distribution transient for a linear
+// core-activation ramp of the given duration (0 = abrupt) and reports
+// supply integrity against the 2% tolerance.
+func SimulateActivation(rampS float64) (*ActivationResult, error) {
+	cfg := powergrid.DefaultConfig()
+	var sched powergrid.Schedule
+	if rampS <= 0 {
+		sched = powergrid.Abrupt(2e-6)
+	} else {
+		sched = powergrid.LinearRamp(2e-6, rampS)
+	}
+	return powergrid.Simulate(cfg, sched, powergrid.DefaultSimOptions(sched))
+}
+
+// PowerSupply is the §6 hybrid battery + ultracapacitor model.
+type PowerSupply = powersource.HybridSupply
+
+// DefaultPowerSupply returns the paper's phone Li-Ion + 25 F ultracapacitor
+// configuration.
+func DefaultPowerSupply() PowerSupply { return powersource.NewHybridSupply() }
+
+// SprintDemand describes a burst the power supply must deliver.
+type SprintDemand = powersource.SprintDemand
+
+// Governor is the §7 activity-based sprint-budget manager: it answers
+// "can I sprint now, at what intensity, and how long must I wait?" for
+// repeated bursts.
+type Governor = governor.Governor
+
+// GovernorConfig parameterizes a Governor.
+type GovernorConfig = governor.Config
+
+// NewGovernor returns a budget manager for the paper's 16 W / 1 W platform.
+func NewGovernor() *Governor { return governor.New(governor.DefaultConfig()) }
+
+// Burst is one user-triggered computation demand in a session trace.
+type Burst = session.Burst
+
+// SessionPolicy selects how a session's bursts are serviced.
+type SessionPolicy = session.Policy
+
+// Session policies.
+const (
+	// SessionSustained serves bursts on the single sustainable core.
+	SessionSustained = session.SustainedPolicy
+	// SessionGoverned sprints within the §7 budget (never violates).
+	SessionGoverned = session.GovernedSprint
+	// SessionUnmanaged always sprints, ignoring the budget (straw man).
+	SessionUnmanaged = session.UnmanagedSprint
+)
+
+// SessionMetrics summarizes the user-visible outcome of a session.
+type SessionMetrics = session.Metrics
+
+// GenerateSession produces a deterministic burst-arrival trace: n bursts
+// with mean inter-arrival gap and mean single-core work, both in seconds.
+func GenerateSession(n int, meanGapS, meanWorkS float64, seed int64) []Burst {
+	return session.GenerateBursts(n, meanGapS, meanWorkS, seed)
+}
+
+// EvaluateSession services a burst trace under the policy on the paper's
+// 16-core platform and returns the response-time metrics.
+func EvaluateSession(bursts []Burst, policy SessionPolicy) SessionMetrics {
+	return session.Evaluate(bursts, policy, session.DefaultConfig())
+}
+
+// Table is a printable experiment result.
+type Table = table.Table
+
+// ExperimentIDs lists every regenerable paper artifact in paper order.
+func ExperimentIDs() []string {
+	var ids []string
+	for _, d := range experiments.Registry() {
+		ids = append(ids, d.ID)
+	}
+	return ids
+}
+
+// RunExperiment regenerates one paper table/figure at the given input
+// scale (1 = calibrated defaults) and writes the tables to w.
+func RunExperiment(w io.Writer, id string, scale float64) error {
+	return runExperiment(w, id, scale, false)
+}
+
+// RunExperimentCSV is RunExperiment with machine-readable CSV output
+// (one CSV block per table, preceded by a `# title` comment line).
+func RunExperimentCSV(w io.Writer, id string, scale float64) error {
+	return runExperiment(w, id, scale, true)
+}
+
+func runExperiment(w io.Writer, id string, scale float64, csv bool) error {
+	d, err := experiments.ByID(id)
+	if err != nil {
+		return err
+	}
+	tables, err := d.Run(experiments.Options{Scale: scale})
+	if err != nil {
+		return fmt.Errorf("sprinting: experiment %s: %w", id, err)
+	}
+	fmt.Fprintf(w, "# %s\n\n", d.Title)
+	for _, tb := range tables {
+		if csv {
+			fmt.Fprintf(w, "# %s\n%s\n", tb.Title, tb.CSV())
+			continue
+		}
+		tb.Render(w)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
