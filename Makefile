@@ -1,0 +1,20 @@
+# Tier-1 verification is `make test`; `make bench` regenerates the whole
+# evaluation as benchmarks.
+
+GO ?= go
+
+.PHONY: all build test bench vet
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

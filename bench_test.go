@@ -6,6 +6,7 @@
 package sprinting_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -15,7 +16,8 @@ import (
 
 // benchExperiment runs one driver per iteration, discarding the rendered
 // tables (the numbers are recorded in EXPERIMENTS.md and asserted by the
-// package tests).
+// package tests). The engine's point cache is dropped each iteration so
+// the benchmark measures regeneration, not cache lookups.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	d, err := experiments.ByID(id)
@@ -25,6 +27,7 @@ func benchExperiment(b *testing.B, id string) {
 	opt := experiments.DefaultOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		tables, err := d.Run(opt)
 		if err != nil {
 			b.Fatal(err)
@@ -87,6 +90,45 @@ func BenchmarkDesignSpace(b *testing.B) { benchExperiment(b, "designspace") }
 
 // BenchmarkSession regenerates the bursty-user-activity session study.
 func BenchmarkSession(b *testing.B) { benchExperiment(b, "session") }
+
+// benchEngineFigArchSweep measures the Figure 7 column set — every kernel
+// under the sustained baseline and both sprint policies — evaluated as one
+// engine grid at the given pool width. Points are independent full
+// co-simulations, so throughput should scale near-linearly with workers
+// up to the host's core count (workers=1 is the serial reference).
+func benchEngineFigArchSweep(b *testing.B, workers int) {
+	var points []sprinting.GridPoint
+	for _, k := range sprinting.Kernels() {
+		for _, policy := range []sprinting.Policy{
+			sprinting.Sustained, sprinting.ParallelSprint, sprinting.DVFSSprint,
+		} {
+			points = append(points, sprinting.GridPoint{
+				Kernel: k.Name,
+				Size:   sprinting.SizeA,
+				Shards: 64,
+				Config: sprinting.DefaultConfig(policy),
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sprinting.RunGrid(points, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineFigArchSweep reports the fig_arch sweep at increasing
+// pool widths; compare ns/op across sub-benchmarks for the scaling curve.
+func BenchmarkEngineFigArchSweep(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=GOMAXPROCS"
+		}
+		b.Run(name, func(b *testing.B) { benchEngineFigArchSweep(b, workers) })
+	}
+}
 
 // BenchmarkSprintRunSobel16 measures one full co-simulated 16-core sprint
 // (machine + thermal + runtime) on the default sobel input.

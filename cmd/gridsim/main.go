@@ -1,12 +1,14 @@
 // Command gridsim runs standalone Figure 6 power-delivery transients:
 // supply-voltage integrity for a configurable core-activation ramp on the
-// Figure 5 RLC network.
+// Figure 5 RLC network. Multi-schedule sweeps run concurrently on the
+// engine worker pool; output order is always schedule order.
 //
 // Usage:
 //
 //	gridsim                    # the paper's three schedules
 //	gridsim -ramp-us 12.8      # one custom ramp
 //	gridsim -ramp-us 0 -csv abrupt.csv
+//	gridsim -workers 1         # serial sweep, identical output
 package main
 
 import (
@@ -19,26 +21,34 @@ import (
 
 func main() {
 	var (
-		rampUs = flag.Float64("ramp-us", -1, "activation ramp in µs (0 = abrupt; negative = run the paper's three schedules)")
-		csvOut = flag.String("csv", "", "write the supply-voltage trace to this CSV file (single-ramp mode)")
+		rampUs  = flag.Float64("ramp-us", -1, "activation ramp in µs (0 = abrupt; negative = run the paper's three schedules)")
+		csvOut  = flag.String("csv", "", "write the supply-voltage trace to this CSV file (single-ramp mode)")
+		workers = flag.Int("workers", 0, "engine pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
 	if *rampUs < 0 {
-		for _, ramp := range []float64{0, 1.28e-6, 128e-6} {
-			report(ramp, "")
+		ramps := []float64{0, 1.28e-6, 128e-6}
+		results, err := sprinting.SimulateActivations(ramps, *workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
+			os.Exit(1)
+		}
+		for i, ramp := range ramps {
+			report(ramp, results[i], "")
 		}
 		return
 	}
-	report(*rampUs*1e-6, *csvOut)
-}
-
-func report(rampS float64, csvOut string) {
+	rampS := *rampUs * 1e-6
 	res, err := sprinting.SimulateActivation(rampS)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
 		os.Exit(1)
 	}
+	report(rampS, res, *csvOut)
+}
+
+func report(rampS float64, res *sprinting.ActivationResult, csvOut string) {
 	name := "abrupt (1ns)"
 	if rampS > 0 {
 		name = fmt.Sprintf("linear ramp %.3g µs", rampS*1e6)

@@ -1,11 +1,13 @@
 // Command sprintbench regenerates the paper's evaluation: every table and
-// figure, or a chosen subset, printed as ASCII tables.
+// figure, or a chosen subset, printed as ASCII tables. Each experiment's
+// sweep is evaluated concurrently on the shared engine worker pool;
+// -workers=1 reproduces serial execution with identical output.
 //
 // Usage:
 //
 //	sprintbench -list
 //	sprintbench -exp all
-//	sprintbench -exp fig7,fig10 -scale 0.5
+//	sprintbench -exp fig7,fig10 -scale 0.5 -workers 8
 package main
 
 import (
@@ -20,10 +22,11 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		scale  = flag.Float64("scale", 1, "input-size multiplier (<1 for quick approximate runs)")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		format = flag.String("format", "table", "output format: table | csv")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale   = flag.Float64("scale", 1, "input-size multiplier (<1 for quick approximate runs)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		format  = flag.String("format", "table", "output format: table | csv")
+		workers = flag.Int("workers", 0, "engine pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -45,11 +48,8 @@ func main() {
 			continue
 		}
 		start := time.Now()
-		run := sprinting.RunExperiment
-		if *format == "csv" {
-			run = sprinting.RunExperimentCSV
-		}
-		if err := run(os.Stdout, id, *scale); err != nil {
+		opt := sprinting.RunOptions{Scale: *scale, Workers: *workers, CSV: *format == "csv"}
+		if err := sprinting.RunExperimentWith(os.Stdout, id, opt); err != nil {
 			fmt.Fprintf(os.Stderr, "sprintbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,10 +1,13 @@
 // Command thermalsim runs standalone Figure 4 thermal transients on the
 // mobile stack: sprint initiation and post-sprint cooldown, with optional
-// CSV traces and a configurable design point.
+// CSV traces and a configurable design point. A comma-separated power list
+// sweeps the design point concurrently on the engine worker pool; output
+// order is always list order.
 //
 // Usage:
 //
 //	thermalsim -mode sprint -power 16
+//	thermalsim -mode sprint -power 4,8,16,32 -workers 4
 //	thermalsim -mode cooldown -csv cooldown.csv
 //	thermalsim -mode sprint -pcm-mg 1.5 -melt-c 60
 package main
@@ -13,19 +16,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"sprinting"
 )
 
 func main() {
 	var (
-		mode   = flag.String("mode", "sprint", "sprint | cooldown")
-		power  = flag.Float64("power", 16, "sprint power in watts")
-		pcmMg  = flag.Float64("pcm-mg", 150, "PCM mass in milligrams")
-		meltC  = flag.Float64("melt-c", 60, "PCM melting point in °C")
-		csvOut = flag.String("csv", "", "write the junction trace to this CSV file")
+		mode    = flag.String("mode", "sprint", "sprint | cooldown")
+		power   = flag.String("power", "16", "sprint power in watts; comma-separated values sweep the design point")
+		pcmMg   = flag.Float64("pcm-mg", 150, "PCM mass in milligrams")
+		meltC   = flag.Float64("melt-c", 60, "PCM melting point in °C")
+		csvOut  = flag.String("csv", "", "write the junction trace to this CSV file (single-power mode)")
+		workers = flag.Int("workers", 0, "engine pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+
+	powers, err := parsePowers(*power)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "thermalsim: %v\n", err)
+		os.Exit(2)
+	}
+	if len(powers) > 1 && *csvOut != "" {
+		fmt.Fprintln(os.Stderr, "thermalsim: -csv requires a single -power value")
+		os.Exit(2)
+	}
 
 	design := sprinting.DefaultThermalDesign()
 	design.PCMMassG = *pcmMg / 1000
@@ -37,33 +53,70 @@ func main() {
 
 	switch *mode {
 	case "sprint":
-		res := sprinting.SimulateSprintThermals(design, *power)
-		fmt.Printf("sprint at %.1f W, %.0f mg PCM (melt %.1f °C):\n", *power, *pcmMg, *meltC)
-		fmt.Printf("  melt start      %.3f s\n", res.MeltStartS)
-		fmt.Printf("  melt complete   %.3f s\n", res.MeltEndS)
-		fmt.Printf("  plateau         %.3f s\n", res.PlateauS)
-		if res.Truncated {
-			fmt.Printf("  sprint duration > %.3f s (budget not exhausted in horizon)\n", res.SprintEndS)
-		} else {
-			fmt.Printf("  sprint duration %.3f s\n", res.SprintEndS)
+		results, err := sprinting.SimulateSprintThermalsBatch(design, powers, *workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "thermalsim: %v\n", err)
+			os.Exit(1)
 		}
-		fmt.Printf("  peak junction   %.2f °C\n", res.MaxJunctionC)
-		writeCSV(*csvOut, res.Junction.CSV())
+		for i, p := range powers {
+			res := results[i]
+			fmt.Printf("sprint at %.1f W, %.0f mg PCM (melt %.1f °C):\n", p, *pcmMg, *meltC)
+			fmt.Printf("  melt start      %.3f s\n", res.MeltStartS)
+			fmt.Printf("  melt complete   %.3f s\n", res.MeltEndS)
+			fmt.Printf("  plateau         %.3f s\n", res.PlateauS)
+			if res.Truncated {
+				fmt.Printf("  sprint duration > %.3f s (budget not exhausted in horizon)\n", res.SprintEndS)
+			} else {
+				fmt.Printf("  sprint duration %.3f s\n", res.SprintEndS)
+			}
+			fmt.Printf("  peak junction   %.2f °C\n", res.MaxJunctionC)
+			if *csvOut != "" {
+				writeCSV(*csvOut, res.Junction.CSV())
+			}
+		}
 	case "cooldown":
-		res := sprinting.SimulateCooldownThermals(design, *power)
-		fmt.Printf("cooldown after %.1f W sprint, %.0f mg PCM:\n", *power, *pcmMg)
-		fmt.Printf("  refreeze start    %.2f s\n", res.FreezeStartS)
-		fmt.Printf("  refreeze complete %.2f s\n", res.FreezeEndS)
-		if res.NearOK {
-			fmt.Printf("  near ambient      %.2f s (within 3 °C)\n", res.NearAmbientS)
-		} else {
-			fmt.Println("  near ambient      not reached in horizon")
+		results, err := sprinting.SimulateCooldownThermalsBatch(design, powers, *workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "thermalsim: %v\n", err)
+			os.Exit(1)
 		}
-		writeCSV(*csvOut, res.Junction.CSV())
+		for i, p := range powers {
+			res := results[i]
+			fmt.Printf("cooldown after %.1f W sprint, %.0f mg PCM:\n", p, *pcmMg)
+			fmt.Printf("  refreeze start    %.2f s\n", res.FreezeStartS)
+			fmt.Printf("  refreeze complete %.2f s\n", res.FreezeEndS)
+			if res.NearOK {
+				fmt.Printf("  near ambient      %.2f s (within 3 °C)\n", res.NearAmbientS)
+			} else {
+				fmt.Println("  near ambient      not reached in horizon")
+			}
+			if *csvOut != "" {
+				writeCSV(*csvOut, res.Junction.CSV())
+			}
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "thermalsim: unknown mode %q (want sprint|cooldown)\n", *mode)
 		os.Exit(2)
 	}
+}
+
+func parsePowers(list string) ([]float64, error) {
+	var powers []float64
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -power value %q: %v", part, err)
+		}
+		powers = append(powers, p)
+	}
+	if len(powers) == 0 {
+		return nil, fmt.Errorf("no -power values given")
+	}
+	return powers, nil
 }
 
 func writeCSV(path, data string) {

@@ -29,6 +29,43 @@ func Example() {
 	// completed within the sprint budget: true
 }
 
+// ExampleRunGrid evaluates a batch of simulation points on the concurrent
+// engine: the full policy comparison for one kernel as a single grid.
+// Results come back in point order whatever the pool width, and any
+// worker count — including the exactly serial 1 — yields identical values.
+func ExampleRunGrid() {
+	points := []sprinting.GridPoint{
+		{Kernel: "sobel", Size: sprinting.SizeA, Shards: 64,
+			Config: sprinting.DefaultConfig(sprinting.Sustained)},
+		{Kernel: "sobel", Size: sprinting.SizeA, Shards: 64,
+			Config: sprinting.DefaultConfig(sprinting.ParallelSprint)},
+		{Kernel: "sobel", Size: sprinting.SizeA, Shards: 64,
+			Config: sprinting.DefaultConfig(sprinting.DVFSSprint)},
+	}
+	parallel, err := sprinting.RunGrid(points, 0) // 0 = GOMAXPROCS workers
+	if err != nil {
+		panic(err)
+	}
+	serial, err := sprinting.RunGrid(points, 1)
+	if err != nil {
+		panic(err)
+	}
+	base := parallel[0]
+	fmt.Println("parallel sprint an order of magnitude faster:", parallel[1].Speedup(base) > 8)
+	fmt.Println("dvfs sprint caps near cube-root boost:", parallel[2].Speedup(base) < 3)
+	identical := true
+	for i := range points {
+		identical = identical &&
+			serial[i].ElapsedS == parallel[i].ElapsedS &&
+			serial[i].EnergyJ == parallel[i].EnergyJ
+	}
+	fmt.Println("serial run identical:", identical)
+	// Output:
+	// parallel sprint an order of magnitude faster: true
+	// dvfs sprint caps near cube-root boost: true
+	// serial run identical: true
+}
+
 // ExampleSimulateActivation reproduces the §5 conclusion: abrupt activation
 // of 16 cores is electrically unsafe, a 128 µs ramp is fine.
 func ExampleSimulateActivation() {

@@ -1,0 +1,3 @@
+module sprinting
+
+go 1.24

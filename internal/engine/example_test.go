@@ -1,0 +1,66 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+
+	"sprinting/internal/core"
+	"sprinting/internal/engine"
+	"sprinting/internal/workloads"
+)
+
+// ExampleMap fans a function out over a grid on the bounded worker pool;
+// results always come back in input order.
+func ExampleMap() {
+	inputs := []int{1, 2, 3, 4, 5}
+	squares, err := engine.Map(context.Background(), inputs,
+		func(_ context.Context, n int) (int, error) {
+			return n * n, nil
+		}, engine.Options{Workers: 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(squares)
+	// Output:
+	// [1 4 9 16 25]
+}
+
+// ExampleMapKeyed memoizes duplicate points through a shared cache: the
+// three distinct keys are evaluated once each, however often they recur.
+func ExampleMapKeyed() {
+	cache := engine.NewCache()
+	inputs := []int{10, 20, 30, 10, 20, 30}
+	evaluations := 0
+	doubled, err := engine.MapKeyed(context.Background(), inputs,
+		func(n int) string { return engine.Key(n) },
+		func(_ context.Context, n int) (int, error) {
+			evaluations++ // safe: Workers 1 runs inline
+			return 2 * n, nil
+		}, engine.Options{Workers: 1, Cache: cache})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(doubled)
+	fmt.Println("evaluations:", evaluations)
+	// Output:
+	// [20 40 60 20 40 60]
+	// evaluations: 3
+}
+
+// ExampleRunGrid evaluates simulation points — the sustained baseline and
+// a parallel sprint of the sobel kernel — concurrently, and compares them.
+func ExampleRunGrid() {
+	points := []engine.Point{
+		{Kernel: "sobel", Size: workloads.SizeA, Shards: 64,
+			Config: core.DefaultConfig(core.Sustained)},
+		{Kernel: "sobel", Size: workloads.SizeA, Shards: 64,
+			Config: core.DefaultConfig(core.ParallelSprint)},
+	}
+	results, err := engine.RunGrid(context.Background(), points, engine.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sprint an order of magnitude faster:", results[1].Speedup(results[0]) > 8)
+	// Output:
+	// sprint an order of magnitude faster: true
+}

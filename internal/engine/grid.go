@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"context"
+
+	"sprinting/internal/core"
+	"sprinting/internal/workloads"
+)
+
+// Point is one simulation point of the evaluation cross-product: a kernel
+// at an input size executed under a policy/thermal/power configuration.
+// Points are plain values; a grid of Points fully determines a grid of
+// Results.
+type Point struct {
+	// Kernel names a Table 1 workload (sobel, kmeans, …).
+	Kernel string
+	// Size selects the kernel input size class.
+	Size workloads.SizeClass
+	// Scale multiplies input sizes (1 = calibrated defaults); Seed fixes
+	// the synthetic inputs. Zero values defer to the workload defaults.
+	Scale float64
+	Seed  int64
+	// Shards is the work-queue sharding the instance is built with.
+	Shards int
+	// Config is the full sprint-system configuration (policy, sprint
+	// width, thermal stack, machine, …).
+	Config core.Config
+}
+
+// Key returns the point's config hash: a deterministic, collision-free
+// rendering of every field, used to memoize repeated points.
+func (p Point) Key() string {
+	return Key(p.Kernel, string(p.Size), p.Scale, p.Seed, p.Shards, p.Config)
+}
+
+// runPoint builds a fresh kernel instance (programs are single-use) and
+// executes it under the point's configuration.
+func runPoint(_ context.Context, p Point) (core.Result, error) {
+	k, err := workloads.ByName(p.Kernel)
+	if err != nil {
+		return core.Result{}, err
+	}
+	inst := k.Build(workloads.Params{
+		Size:   p.Size,
+		Scale:  p.Scale,
+		Shards: p.Shards,
+		Seed:   p.Seed,
+	})
+	return core.Run(inst.Program, p.Config)
+}
+
+// RunGrid evaluates every point on the worker pool and returns the results
+// in grid order. See Map for error and cancellation semantics.
+func RunGrid(ctx context.Context, points []Point, opt Options) ([]core.Result, error) {
+	return MapKeyed(ctx, points, Point.Key, runPoint, opt)
+}

@@ -2,13 +2,22 @@
 // paper's evaluation. Each driver regenerates the corresponding rows or
 // series using the library's models and returns them as printable tables;
 // the sprintbench command and the top-level benchmarks invoke them.
+//
+// Every driver evaluates its sweep through the internal/engine worker
+// pool, so regeneration is parallel by default; Options.Workers = 1
+// reproduces plain serial execution, and any worker count produces
+// identical tables because point evaluations are deterministic.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"sprinting/internal/core"
+	"sprinting/internal/engine"
 	"sprinting/internal/table"
+	"sprinting/internal/workloads"
 )
 
 // Options tune experiment execution.
@@ -18,6 +27,10 @@ type Options struct {
 	Scale float64
 	// Seed fixes the synthetic inputs.
 	Seed int64
+	// Workers bounds the engine pool evaluating a driver's sweep; <= 0
+	// selects GOMAXPROCS and 1 is exactly serial. Results are identical
+	// at every worker count.
+	Workers int
 }
 
 // DefaultOptions returns the calibrated full-size configuration.
@@ -31,6 +44,44 @@ func (o Options) withDefaults() Options {
 		o.Seed = 12345
 	}
 	return o
+}
+
+// engineOptions translates driver options into pool options, attaching
+// the process-wide memo cache.
+func (o Options) engineOptions() engine.Options {
+	return engine.Options{Workers: o.Workers, Cache: gridCache}
+}
+
+// gridCache memoizes simulation points across drivers: Figures 10 and 11
+// report the same scaling sweep, several figures share baselines, and
+// repeated regenerations (CSV + table runs) hit it outright. Keys include
+// scale and seed, so differently scaled runs never collide. The cache
+// grows for the life of the process; long-lived embedders sweeping many
+// configurations can bound it with ResetCache.
+var gridCache = engine.NewCache()
+
+// ResetCache drops every memoized simulation point. Benchmarks call it
+// per iteration so they measure regeneration rather than cache lookups.
+// Safe to call while drivers are running: in-flight evaluations finish
+// against their old entries and later points recompute.
+func ResetCache() { gridCache.Clear() }
+
+// point assembles one engine grid point under the experiment options.
+func point(kernel string, size workloads.SizeClass, opt Options, cfg core.Config, shards int) engine.Point {
+	return engine.Point{
+		Kernel: kernel,
+		Size:   size,
+		Scale:  opt.Scale,
+		Seed:   opt.Seed,
+		Shards: shards,
+		Config: cfg,
+	}
+}
+
+// runGrid evaluates a driver's point grid on the engine pool, returning
+// results in grid order.
+func runGrid(opt Options, points []engine.Point) ([]core.Result, error) {
+	return engine.RunGrid(context.Background(), points, opt.engineOptions())
 }
 
 // Driver regenerates one experiment.

@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"sprinting/internal/core"
+	"sprinting/internal/engine"
 	"sprinting/internal/materials"
 	"sprinting/internal/series"
 	"sprinting/internal/table"
@@ -26,15 +27,6 @@ func build(kernel string, size workloads.SizeClass, opt Options, shards int) (*w
 	}), nil
 }
 
-// runOne builds and runs a kernel under a policy configuration.
-func runOne(kernel string, size workloads.SizeClass, opt Options, cfg core.Config, shards int) (core.Result, error) {
-	inst, err := build(kernel, size, opt, shards)
-	if err != nil {
-		return core.Result{}, err
-	}
-	return core.Run(inst.Program, cfg)
-}
-
 // limitedThermal returns the §8.3 constrained design point (1.5 mg PCM).
 func limitedThermal(cfg core.Config) core.Config {
 	cfg.Thermal = thermal.LimitedStackConfig()
@@ -42,35 +34,36 @@ func limitedThermal(cfg core.Config) core.Config {
 }
 
 // Fig7 regenerates Figure 7: 16-core parallel speedup vs idealized DVFS,
-// each under the 1.5 mg and 150 mg thermal configurations.
+// each under the 1.5 mg and 150 mg thermal configurations. The 5-point
+// column set for all six kernels is one engine grid.
 func Fig7(opt Options) ([]*table.Table, error) {
 	opt = opt.withDefaults()
+	kernels := workloads.All()
+	var pts []engine.Point
+	for _, k := range kernels {
+		pts = append(pts,
+			point(k.Name, workloads.SizeB, opt, core.DefaultConfig(core.Sustained), 64),
+			point(k.Name, workloads.SizeB, opt, core.DefaultConfig(core.ParallelSprint), 64),
+			point(k.Name, workloads.SizeB, opt, limitedThermal(core.DefaultConfig(core.ParallelSprint)), 64),
+			point(k.Name, workloads.SizeB, opt, core.DefaultConfig(core.DVFSSprint), 64),
+			point(k.Name, workloads.SizeB, opt, limitedThermal(core.DefaultConfig(core.DVFSSprint)), 64),
+		)
+	}
+	res, err := runGrid(opt, pts)
+	if err != nil {
+		return nil, err
+	}
 	t := table.New("Figure 7: speedup on 16 cores vs idealized DVFS (default inputs)",
 		"kernel", "Par 1.5mg", "Par 150mg", "DVFS 1.5mg", "DVFS 150mg")
 	var parFull []float64
-	for _, k := range workloads.All() {
-		base, err := runOne(k.Name, workloads.SizeB, opt, core.DefaultConfig(core.Sustained), 64)
-		if err != nil {
-			return nil, err
-		}
-		runs := map[string]core.Config{
-			"parFull":  core.DefaultConfig(core.ParallelSprint),
-			"parLim":   limitedThermal(core.DefaultConfig(core.ParallelSprint)),
-			"dvfsFull": core.DefaultConfig(core.DVFSSprint),
-			"dvfsLim":  limitedThermal(core.DefaultConfig(core.DVFSSprint)),
-		}
-		sp := map[string]float64{}
-		for name, cfg := range runs {
-			res, err := runOne(k.Name, workloads.SizeB, opt, cfg, 64)
-			if err != nil {
-				return nil, err
-			}
-			sp[name] = res.Speedup(base)
-		}
-		parFull = append(parFull, sp["parFull"])
+	for i, k := range kernels {
+		base := res[i*5]
+		pFull, pLim := res[i*5+1].Speedup(base), res[i*5+2].Speedup(base)
+		dFull, dLim := res[i*5+3].Speedup(base), res[i*5+4].Speedup(base)
+		parFull = append(parFull, pFull)
 		t.AddRow(k.Name,
-			table.F(sp["parLim"], 3), table.F(sp["parFull"], 3),
-			table.F(sp["dvfsLim"], 3), table.F(sp["dvfsFull"], 3))
+			table.F(pLim, 3), table.F(pFull, 3),
+			table.F(dLim, 3), table.F(dFull, 3))
 	}
 	t.AddRow("average", "", table.F(series.Mean(parFull), 3), "", "")
 	t.Caption = "paper: average parallel speedup 10.2× at 150 mg; DVFS caps at ∛16 ≈ 2.5×"
@@ -78,37 +71,43 @@ func Fig7(opt Options) ([]*table.Table, error) {
 }
 
 // Fig8 regenerates Figure 8: sobel speedup as input size grows, for the
-// two thermal configurations and DVFS.
+// two thermal configurations and DVFS. Input descriptions and the 4-point
+// column set per size both fan out on the engine pool.
 func Fig8(opt Options) ([]*table.Table, error) {
 	opt = opt.withDefaults()
+	sizes := []workloads.SizeClass{workloads.SizeA, workloads.SizeB, workloads.SizeC, workloads.SizeD}
+	details, err := engine.Map(context.Background(), sizes,
+		func(_ context.Context, size workloads.SizeClass) (string, error) {
+			inst, err := build("sobel", size, opt, 64)
+			if err != nil {
+				return "", err
+			}
+			return inst.Detail, nil
+		}, opt.engineOptions())
+	if err != nil {
+		return nil, err
+	}
+	var pts []engine.Point
+	for _, size := range sizes {
+		pts = append(pts,
+			point("sobel", size, opt, core.DefaultConfig(core.Sustained), 64),
+			point("sobel", size, opt, core.DefaultConfig(core.ParallelSprint), 64),
+			point("sobel", size, opt, limitedThermal(core.DefaultConfig(core.ParallelSprint)), 64),
+			point("sobel", size, opt, limitedThermal(core.DefaultConfig(core.DVFSSprint)), 64),
+		)
+	}
+	res, err := runGrid(opt, pts)
+	if err != nil {
+		return nil, err
+	}
 	t := table.New("Figure 8: sobel speedup vs input size (16 cores)",
 		"size", "input", "Par 150mg", "Par 1.5mg", "DVFS 1.5mg", "1 core")
-	for _, size := range []workloads.SizeClass{workloads.SizeA, workloads.SizeB, workloads.SizeC, workloads.SizeD} {
-		inst, err := build("sobel", size, opt, 64)
-		if err != nil {
-			return nil, err
-		}
-		detail := inst.Detail
-		base, err := runOne("sobel", size, opt, core.DefaultConfig(core.Sustained), 64)
-		if err != nil {
-			return nil, err
-		}
-		parFull, err := runOne("sobel", size, opt, core.DefaultConfig(core.ParallelSprint), 64)
-		if err != nil {
-			return nil, err
-		}
-		parLim, err := runOne("sobel", size, opt, limitedThermal(core.DefaultConfig(core.ParallelSprint)), 64)
-		if err != nil {
-			return nil, err
-		}
-		dvfsLim, err := runOne("sobel", size, opt, limitedThermal(core.DefaultConfig(core.DVFSSprint)), 64)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(string(size), detail,
-			table.F(parFull.Speedup(base), 3),
-			table.F(parLim.Speedup(base), 3),
-			table.F(dvfsLim.Speedup(base), 3),
+	for i, size := range sizes {
+		base := res[i*4]
+		t.AddRow(string(size), details[i],
+			table.F(res[i*4+1].Speedup(base), 3),
+			table.F(res[i*4+2].Speedup(base), 3),
+			table.F(res[i*4+3].Speedup(base), 3),
 			"1")
 	}
 	t.Caption = "paper: full PCM sustains the sprint at all sizes; the 1.5 mg point's speedup " +
@@ -117,27 +116,36 @@ func Fig8(opt Options) ([]*table.Table, error) {
 }
 
 // Fig9 regenerates Figure 9: 16-core speedup for every kernel across its
-// input sizes, under both thermal configurations.
+// input sizes, under both thermal configurations — one engine grid of
+// (kernel × size × {baseline, full, limited}).
 func Fig9(opt Options) ([]*table.Table, error) {
 	opt = opt.withDefaults()
-	t := table.New("Figure 9: speedup on 16 cores with varying input sizes",
-		"kernel", "size", "Par 1.5mg", "Par 150mg")
+	type rowSpec struct {
+		kernel string
+		size   workloads.SizeClass
+	}
+	var rows []rowSpec
+	var pts []engine.Point
 	for _, k := range workloads.All() {
 		for _, size := range k.Sizes {
-			base, err := runOne(k.Name, size, opt, core.DefaultConfig(core.Sustained), 64)
-			if err != nil {
-				return nil, err
-			}
-			full, err := runOne(k.Name, size, opt, core.DefaultConfig(core.ParallelSprint), 64)
-			if err != nil {
-				return nil, err
-			}
-			lim, err := runOne(k.Name, size, opt, limitedThermal(core.DefaultConfig(core.ParallelSprint)), 64)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(k.Name, string(size), table.F(lim.Speedup(base), 3), table.F(full.Speedup(base), 3))
+			rows = append(rows, rowSpec{k.Name, size})
+			pts = append(pts,
+				point(k.Name, size, opt, core.DefaultConfig(core.Sustained), 64),
+				point(k.Name, size, opt, core.DefaultConfig(core.ParallelSprint), 64),
+				point(k.Name, size, opt, limitedThermal(core.DefaultConfig(core.ParallelSprint)), 64),
+			)
 		}
+	}
+	res, err := runGrid(opt, pts)
+	if err != nil {
+		return nil, err
+	}
+	t := table.New("Figure 9: speedup on 16 cores with varying input sizes",
+		"kernel", "size", "Par 1.5mg", "Par 150mg")
+	for i, r := range rows {
+		base := res[i*3]
+		t.AddRow(r.kernel, string(r.size),
+			table.F(res[i*3+2].Speedup(base), 3), table.F(res[i*3+1].Speedup(base), 3))
 	}
 	t.Caption = "paper: larger inputs show higher parallel speedup but need more capacitance " +
 		"to finish within the sprint"
@@ -152,24 +160,24 @@ type scalingRow struct {
 	bw2x64   float64 // 64-core speedup with doubled bandwidth (BW-bound kernels)
 }
 
-var scalingMemo sync.Map // Options → []scalingRow
-
-// scalingStudy runs the Figure 10/11 sweep once per Options and memoizes:
-// both figures report the same runs.
+// scalingStudy runs the Figure 10/11 sweep as one engine grid. Both
+// figures report the same runs; the engine's point cache makes the second
+// regeneration free, replacing the package-local memo this function used
+// to keep.
 func scalingStudy(opt Options) ([]scalingRow, error) {
-	key := fmt.Sprintf("%v/%v", opt.Scale, opt.Seed)
-	if v, ok := scalingMemo.Load(key); ok {
-		return v.([]scalingRow), nil
-	}
 	coreCounts := []int{1, 4, 16, 64}
-	var rows []scalingRow
-	for _, k := range workloads.All() {
+	type kernelIdx struct {
+		base   int
+		counts []int // parallel to coreCounts
+		bw     int   // -1 when the kernel has no bandwidth ablation
+	}
+	var pts []engine.Point
+	var idxs []kernelIdx
+	kernels := workloads.All()
+	for _, k := range kernels {
 		size := k.Sizes[len(k.Sizes)-1] // the paper uses the largest input
-		base, err := runOne(k.Name, size, opt, core.DefaultConfig(core.Sustained), 128)
-		if err != nil {
-			return nil, err
-		}
-		row := scalingRow{kernel: k.Name, speedups: map[int]float64{}, energies: map[int]float64{}}
+		ix := kernelIdx{base: len(pts), bw: -1}
+		pts = append(pts, point(k.Name, size, opt, core.DefaultConfig(core.Sustained), 128))
 		for _, n := range coreCounts {
 			cfg := core.DefaultConfig(core.ParallelSprint)
 			cfg.SprintCores = n
@@ -177,27 +185,38 @@ func scalingStudy(opt Options) ([]scalingRow, error) {
 			// without a thermal cap: the physical (unscaled) stack's
 			// >1 s budget never binds at simulation scale.
 			cfg.ThermalTimeScale = 1
-			res, err := runOne(k.Name, size, opt, cfg, 128)
-			if err != nil {
-				return nil, err
-			}
-			row.speedups[n] = res.Speedup(base)
-			row.energies[n] = res.NormalizedEnergy(base)
+			ix.counts = append(ix.counts, len(pts))
+			pts = append(pts, point(k.Name, size, opt, cfg, 128))
 		}
 		if k.Name == "feature" || k.Name == "disparity" {
 			cfg := core.DefaultConfig(core.ParallelSprint)
 			cfg.SprintCores = 64
 			cfg.ThermalTimeScale = 1
 			cfg.MemBandwidthMult = 2
-			res, err := runOne(k.Name, size, opt, cfg, 128)
-			if err != nil {
-				return nil, err
-			}
-			row.bw2x64 = res.Speedup(base)
+			ix.bw = len(pts)
+			pts = append(pts, point(k.Name, size, opt, cfg, 128))
+		}
+		idxs = append(idxs, ix)
+	}
+	res, err := runGrid(opt, pts)
+	if err != nil {
+		return nil, err
+	}
+	var rows []scalingRow
+	for i, k := range kernels {
+		ix := idxs[i]
+		base := res[ix.base]
+		row := scalingRow{kernel: k.Name, speedups: map[int]float64{}, energies: map[int]float64{}}
+		for j, n := range coreCounts {
+			r := res[ix.counts[j]]
+			row.speedups[n] = r.Speedup(base)
+			row.energies[n] = r.NormalizedEnergy(base)
+		}
+		if ix.bw >= 0 {
+			row.bw2x64 = res[ix.bw].Speedup(base)
 		}
 		rows = append(rows, row)
 	}
-	scalingMemo.Store(key, rows)
 	return rows, nil
 }
 
@@ -256,23 +275,26 @@ func DesignSpace(opt Options) ([]*table.Table, error) {
 	masses := []float64{0.0015, 0.015, 0.150} // grams: 1.5 mg … 150 mg
 	widths := []int{2, 4, 8, 16}
 
-	base, err := runOne("sobel", workloads.SizeB, opt, core.DefaultConfig(core.Sustained), 64)
-	if err != nil {
-		return nil, err
-	}
-	t := table.New("Design space: sobel speedup, sprint width × PCM mass",
-		"cores \\ PCM", "1.5 mg", "15 mg", "150 mg")
+	pts := []engine.Point{point("sobel", workloads.SizeB, opt, core.DefaultConfig(core.Sustained), 64)}
 	for _, n := range widths {
-		row := []string{fmt.Sprintf("%d", n)}
 		for _, m := range masses {
 			cfg := core.DefaultConfig(core.ParallelSprint)
 			cfg.SprintCores = n
 			cfg.Thermal = cfg.Thermal.WithPCMMass(m)
-			res, err := runOne("sobel", workloads.SizeB, opt, cfg, 64)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, table.F(res.Speedup(base), 3))
+			pts = append(pts, point("sobel", workloads.SizeB, opt, cfg, 64))
+		}
+	}
+	res, err := runGrid(opt, pts)
+	if err != nil {
+		return nil, err
+	}
+	base := res[0]
+	t := table.New("Design space: sobel speedup, sprint width × PCM mass",
+		"cores \\ PCM", "1.5 mg", "15 mg", "150 mg")
+	for i, n := range widths {
+		row := []string{fmt.Sprintf("%d", n)}
+		for j := range masses {
+			row = append(row, table.F(res[1+i*len(masses)+j].Speedup(base), 3))
 		}
 		t.AddRow(row...)
 	}
@@ -281,6 +303,8 @@ func DesignSpace(opt Options) ([]*table.Table, error) {
 }
 
 // Ablations regenerates the design-choice studies DESIGN.md calls out.
+// The six architectural runs behind studies 2 and 3 form one engine grid;
+// the purely thermal study 1 stays inline.
 func Ablations(opt Options) ([]*table.Table, error) {
 	opt = opt.withDefaults()
 
@@ -298,47 +322,33 @@ func Ablations(opt Options) ([]*table.Table, error) {
 	}
 	solid.AddRow("150 mg copper", table.F(tNow, 3))
 
-	// 2. §7 exit paths: software migration vs hardware throttle, on the
-	// limited configuration where the sprint always exhausts.
-	exit := table.New("Ablation: sprint exit path (sobel, 1.5 mg PCM, 16 cores)",
-		"exit path", "elapsed (ms)", "peak junction (C)")
-	base, err := runOne("sobel", workloads.SizeB, opt, core.DefaultConfig(core.Sustained), 64)
-	if err != nil {
-		return nil, err
-	}
-	mig, err := runOne("sobel", workloads.SizeB, opt, limitedThermal(core.DefaultConfig(core.ParallelSprint)), 64)
-	if err != nil {
-		return nil, err
-	}
+	// 2 + 3 share one grid: the §7 exit-path study on the limited
+	// configuration, then the barrier sleep discipline study on segment.
 	thrCfg := limitedThermal(core.DefaultConfig(core.ParallelSprint))
 	thrCfg.HardwareThrottleOnly = true
-	thr, err := runOne("sobel", workloads.SizeB, opt, thrCfg, 64)
+	noDeep := core.DefaultConfig(core.ParallelSprint)
+	noDeep.Arch.DeepSleepAfter = 0
+	res, err := runGrid(opt, []engine.Point{
+		point("sobel", workloads.SizeB, opt, core.DefaultConfig(core.Sustained), 64),
+		point("sobel", workloads.SizeB, opt, limitedThermal(core.DefaultConfig(core.ParallelSprint)), 64),
+		point("sobel", workloads.SizeB, opt, thrCfg, 64),
+		point("segment", workloads.SizeB, opt, core.DefaultConfig(core.Sustained), 64),
+		point("segment", workloads.SizeB, opt, core.DefaultConfig(core.ParallelSprint), 64),
+		point("segment", workloads.SizeB, opt, noDeep, 64),
+	})
 	if err != nil {
 		return nil, err
 	}
+	base, mig, thr, segBase, defRes, ndRes := res[0], res[1], res[2], res[3], res[4], res[5]
+
+	exit := table.New("Ablation: sprint exit path (sobel, 1.5 mg PCM, 16 cores)",
+		"exit path", "elapsed (ms)", "peak junction (C)")
 	exit.AddRow("software migration (§7)", fmtMilli(mig.ElapsedS), table.F(mig.PeakJunctionC, 3))
 	exit.AddRow("hardware throttle (÷16)", fmtMilli(thr.ElapsedS), table.F(thr.PeakJunctionC, 3))
 	exit.AddRow("(sustained baseline)", fmtMilli(base.ElapsedS), table.F(base.PeakJunctionC, 3))
 
-	// 3. Sleep discipline: deep sleep on long barrier waits (segment's
-	// serial tail is the stress case).
 	sleep := table.New("Ablation: barrier sleep discipline (segment, 16 cores)",
 		"discipline", "normalized energy")
-	segBase, err := runOne("segment", workloads.SizeB, opt, core.DefaultConfig(core.Sustained), 64)
-	if err != nil {
-		return nil, err
-	}
-	defCfg := core.DefaultConfig(core.ParallelSprint)
-	defRes, err := runOne("segment", workloads.SizeB, opt, defCfg, 64)
-	if err != nil {
-		return nil, err
-	}
-	noDeep := core.DefaultConfig(core.ParallelSprint)
-	noDeep.Arch.DeepSleepAfter = 0
-	ndRes, err := runOne("segment", workloads.SizeB, opt, noDeep, 64)
-	if err != nil {
-		return nil, err
-	}
 	sleep.AddRow("PAUSE + deep sleep (default)", table.F(defRes.NormalizedEnergy(segBase), 3))
 	sleep.AddRow("PAUSE only (10% forever)", table.F(ndRes.NormalizedEnergy(segBase), 3))
 

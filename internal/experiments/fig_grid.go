@@ -1,29 +1,42 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"sprinting/internal/engine"
 	"sprinting/internal/powergrid"
 	"sprinting/internal/table"
 )
 
+// simulateSchedules runs the PDN transient for each schedule on the engine
+// pool, returning results in schedule order.
+func simulateSchedules(opt Options, schedules []powergrid.Schedule) ([]*powergrid.Result, error) {
+	cfg := powergrid.DefaultConfig()
+	return engine.Map(context.Background(), schedules,
+		func(_ context.Context, sched powergrid.Schedule) (*powergrid.Result, error) {
+			return powergrid.Simulate(cfg, sched, powergrid.DefaultSimOptions(sched))
+		}, opt.engineOptions())
+}
+
 // Fig6 regenerates Figure 6: supply-voltage integrity for the three
 // core-activation schedules — abrupt (a), 1.28 µs linear ramp (b), and
-// 128 µs linear ramp (c) — plus the §5 published scalars.
-func Fig6(Options) ([]*table.Table, error) {
-	cfg := powergrid.DefaultConfig()
+// 128 µs linear ramp (c) — plus the §5 published scalars. The three
+// transients run concurrently on the engine pool.
+func Fig6(opt Options) ([]*table.Table, error) {
 	schedules := []powergrid.Schedule{
 		powergrid.Abrupt(2e-6),
 		powergrid.LinearRamp(2e-6, 1.28e-6),
 		powergrid.LinearRamp(2e-6, 128e-6),
 	}
+	results, err := simulateSchedules(opt, schedules)
+	if err != nil {
+		return nil, err
+	}
 	t := table.New("Figure 6: supply voltage vs activation schedule",
 		"schedule", "min V", "settled V", "max deviation", "within 2%?", "settle (µs)")
-	for _, sched := range schedules {
-		res, err := powergrid.Simulate(cfg, sched, powergrid.DefaultSimOptions(sched))
-		if err != nil {
-			return nil, err
-		}
+	for i, sched := range schedules {
+		res := results[i]
 		t.AddRow(sched.Name,
 			fmt.Sprintf("%.4f", res.MinV),
 			fmt.Sprintf("%.4f", res.FinalV),
@@ -38,18 +51,19 @@ func Fig6(Options) ([]*table.Table, error) {
 
 // GridTraces exposes the Figure 6 voltage series for CSV export by gridsim.
 func GridTraces() (map[string]*powergrid.Result, error) {
-	cfg := powergrid.DefaultConfig()
+	keys := []string{"abrupt", "ramp1p28", "ramp128"}
+	schedules := []powergrid.Schedule{
+		powergrid.Abrupt(2e-6),
+		powergrid.LinearRamp(2e-6, 1.28e-6),
+		powergrid.LinearRamp(2e-6, 128e-6),
+	}
+	results, err := simulateSchedules(Options{}, schedules)
+	if err != nil {
+		return nil, err
+	}
 	out := map[string]*powergrid.Result{}
-	for key, sched := range map[string]powergrid.Schedule{
-		"abrupt":   powergrid.Abrupt(2e-6),
-		"ramp1p28": powergrid.LinearRamp(2e-6, 1.28e-6),
-		"ramp128":  powergrid.LinearRamp(2e-6, 128e-6),
-	} {
-		res, err := powergrid.Simulate(cfg, sched, powergrid.DefaultSimOptions(sched))
-		if err != nil {
-			return nil, err
-		}
-		out[key] = res
+	for i, key := range keys {
+		out[key] = results[i]
 	}
 	return out, nil
 }

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"sprinting/internal/engine"
 	"sprinting/internal/session"
 	"sprinting/internal/table"
 )
@@ -11,7 +13,8 @@ import (
 // traces of bursty user activity served under sustained, governed-sprint,
 // and unmanaged-sprint policies. It extends the paper's single-burst
 // evaluation to the repeated-sprint pacing question §3 raises (sustained
-// performance stays TDP-bound; sprinting compresses each response).
+// performance stays TDP-bound; sprinting compresses each response). The
+// trace × policy cross-product fans out on the engine pool.
 func Session(opt Options) ([]*table.Table, error) {
 	opt = opt.withDefaults()
 	cfg := session.DefaultConfig()
@@ -25,15 +28,37 @@ func Session(opt Options) ([]*table.Table, error) {
 		{"moderate (gap 10 s, work 2 s)", 10, 2},
 		{"dense (gap 2 s, work 4 s)", 2, 4},
 	}
-	out := []*table.Table{}
+	policies := []session.Policy{
+		session.SustainedPolicy, session.GovernedSprint, session.UnmanagedSprint,
+	}
+
+	type cell struct {
+		bursts []session.Burst
+		policy session.Policy
+	}
+	var cells []cell
 	for _, tr := range traces {
 		bursts := session.GenerateBursts(24, tr.meanGapS, tr.workS, opt.Seed)
+		for _, p := range policies {
+			cells = append(cells, cell{bursts: bursts, policy: p})
+		}
+	}
+	metrics, err := engine.Map(context.Background(), cells,
+		func(_ context.Context, c cell) (session.Metrics, error) {
+			// Evaluate only reads the shared trace, so policies for one
+			// trace can score it concurrently.
+			return session.Evaluate(c.bursts, c.policy, cfg), nil
+		}, opt.engineOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	out := []*table.Table{}
+	for ti, tr := range traces {
 		t := table.New(fmt.Sprintf("Session: %s", tr.name),
 			"policy", "mean resp (s)", "p95 resp (s)", "full-intensity %", "violation (J)")
-		for _, p := range []session.Policy{
-			session.SustainedPolicy, session.GovernedSprint, session.UnmanagedSprint,
-		} {
-			m := session.Evaluate(bursts, p, cfg)
+		for pi, p := range policies {
+			m := metrics[ti*len(policies)+pi]
 			t.AddRow(p.String(),
 				table.F(m.MeanResponseS, 3), table.F(m.P95ResponseS, 3),
 				table.F(m.FullIntensityPct, 3), table.F(m.ViolationJ, 3))

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"sprinting/internal/engine"
 	"sprinting/internal/powergrid"
 	"sprinting/internal/powersource"
 	"sprinting/internal/scaling"
@@ -11,8 +13,9 @@ import (
 )
 
 // Fig1 regenerates Figure 1: normalized power density (a) and percent dark
-// silicon (b) across process nodes under the three scaling scenarios.
-func Fig1(Options) ([]*table.Table, error) {
+// silicon (b) across process nodes under the three scaling scenarios,
+// projecting the scenarios concurrently on the engine pool.
+func Fig1(opt Options) ([]*table.Table, error) {
 	scenarios := scaling.Scenarios()
 
 	pd := table.New("Figure 1(a): normalized power density", "process (nm)")
@@ -21,21 +24,26 @@ func Fig1(Options) ([]*table.Table, error) {
 		pd.Header = append(pd.Header, s.Name)
 		dark.Header = append(dark.Header, s.Name)
 	}
-	densities := make([][]float64, len(scenarios))
-	darks := make([][]float64, len(scenarios))
-	for i, s := range scenarios {
-		if err := s.Validate(); err != nil {
-			return nil, err
-		}
-		densities[i] = s.PowerDensity()
-		darks[i] = s.DarkSiliconPct()
+	type projection struct {
+		densities []float64
+		darks     []float64
+	}
+	proj, err := engine.Map(context.Background(), scenarios,
+		func(_ context.Context, s scaling.Scenario) (projection, error) {
+			if err := s.Validate(); err != nil {
+				return projection{}, err
+			}
+			return projection{densities: s.PowerDensity(), darks: s.DarkSiliconPct()}, nil
+		}, opt.engineOptions())
+	if err != nil {
+		return nil, err
 	}
 	for n, node := range scaling.Nodes {
 		rowPd := []string{fmt.Sprintf("%d", node)}
 		rowDark := []string{fmt.Sprintf("%d", node)}
 		for i := range scenarios {
-			rowPd = append(rowPd, table.F(densities[i][n], 3))
-			rowDark = append(rowDark, table.F(darks[i][n], 3))
+			rowPd = append(rowPd, table.F(proj[i].densities[n], 3))
+			rowDark = append(rowDark, table.F(proj[i].darks[n], 3))
 		}
 		pd.AddRow(rowPd...)
 		dark.AddRow(rowDark...)
@@ -105,6 +113,7 @@ func Sec6(Options) ([]*table.Table, error) {
 	hybrid := powersource.NewHybridSupply()
 	verdicts := table.New("Hybrid battery+ultracapacitor verdicts",
 		"demand", "battery share (W)", "ultracap deficit (W)", "deficit energy (J)", "feasible", "reason")
+	// Five closed-form evaluations — too cheap to be worth the pool.
 	for _, d := range []powersource.SprintDemand{
 		{PowerW: 1, DurationS: 10, RailV: 1},
 		{PowerW: 10, DurationS: 1, RailV: 1},

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"sprinting/internal/engine"
 	"sprinting/internal/materials"
 	"sprinting/internal/table"
 	"sprinting/internal/thermal"
@@ -11,8 +13,10 @@ import (
 // Fig2 regenerates Figure 2: the three execution modes — sustained, sprint
 // without phase change, and PCM-augmented sprint — completing a fixed
 // computation, with the milestones the figure's three rows illustrate
-// (cores active, cumulative computation, temperature).
-func Fig2(Options) ([]*table.Table, error) {
+// (cores active, cumulative computation, temperature). The three mode
+// transients run concurrently on the engine pool; each task builds its own
+// stack so no thermal state is shared.
+func Fig2(opt Options) ([]*table.Table, error) {
 	const (
 		cores     = 16
 		corePower = 1.0 // W per active core
@@ -25,59 +29,74 @@ func Fig2(Options) ([]*table.Table, error) {
 
 	type mode struct {
 		name  string
-		stack *thermal.Stack
+		build func() *thermal.Stack
 		wide  bool // sprint with all cores?
 	}
 	modes := []mode{
-		{name: "(a) sustained (1 core)", stack: cfg.Build(), wide: false},
+		{name: "(a) sustained (1 core)", build: cfg.Build, wide: false},
 		// (b) sprint without phase change: same stack geometry with an
 		// equal-mass copper block in place of the PCM.
-		{name: "(b) sprint, no PCM", stack: thermal.SolidSinkStack(cfg, materials.Copper, cfg.PCMMassG), wide: true},
-		{name: "(c) sprint + PCM", stack: cfg.Build(), wide: true},
+		{name: "(b) sprint, no PCM", build: func() *thermal.Stack {
+			return thermal.SolidSinkStack(cfg, materials.Copper, cfg.PCMMassG)
+		}, wide: true},
+		{name: "(c) sprint + PCM", build: cfg.Build, wide: true},
+	}
+
+	type milestones struct {
+		done     float64
+		tOne     float64
+		peak     float64
+		inSprint float64
+	}
+	results, err := engine.Map(context.Background(), modes,
+		func(_ context.Context, m mode) (milestones, error) {
+			var (
+				stack     = m.build()
+				remaining = workUnits
+				sprinting = m.wide
+				out       milestones
+				tNow      float64
+			)
+			for tNow < horizon && remaining > 0 {
+				active := 1.0
+				if sprinting {
+					active = cores
+				}
+				stack.Step(dt, active*corePower)
+				if tj := stack.JunctionC(); tj > out.peak {
+					out.peak = tj
+				}
+				did := active * unitRate * dt
+				if did > remaining {
+					did = remaining
+				}
+				remaining -= did
+				if sprinting {
+					out.inSprint += did
+				}
+				tNow += dt
+				if sprinting && stack.OverLimit() {
+					sprinting = false
+					out.tOne = tNow
+				}
+			}
+			out.done = tNow
+			return out, nil
+		}, opt.engineOptions())
+	if err != nil {
+		return nil, err
 	}
 
 	t := table.New("Figure 2: execution modes completing a fixed task",
 		"mode", "t_done (s)", "sprint end t_one (s)", "peak junction (C)", "work done in sprint (%)")
-	for _, m := range modes {
-		var (
-			done      float64
-			remaining = workUnits
-			tOne      float64
-			sprinting = m.wide
-			inSprint  float64
-			tNow      float64
-			peak      float64
-		)
-		for tNow < horizon && remaining > 0 {
-			active := 1.0
-			if sprinting {
-				active = cores
-			}
-			m.stack.Step(dt, active*corePower)
-			if tj := m.stack.JunctionC(); tj > peak {
-				peak = tj
-			}
-			did := active * unitRate * dt
-			if did > remaining {
-				did = remaining
-			}
-			remaining -= did
-			if sprinting {
-				inSprint += did
-			}
-			tNow += dt
-			if sprinting && m.stack.OverLimit() {
-				sprinting = false
-				tOne = tNow
-			}
-		}
-		done = tNow
+	for i, m := range modes {
+		r := results[i]
 		oneStr := "-"
-		if tOne > 0 {
-			oneStr = table.F(tOne, 3)
+		if r.tOne > 0 {
+			oneStr = table.F(r.tOne, 3)
 		}
-		t.AddRow(m.name, table.F(done, 3), oneStr, table.F(peak, 3),
-			table.F(100*inSprint/workUnits, 3))
+		t.AddRow(m.name, table.F(r.done, 3), oneStr, table.F(r.peak, 3),
+			table.F(100*r.inSprint/workUnits, 3))
 	}
 	t.Caption = "fixed 10 G-unit task; the PCM-augmented sprint completes far more work before t_one"
 	return []*table.Table{t}, nil

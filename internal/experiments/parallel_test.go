@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderAll renders a driver's tables to one string.
+func renderAll(t *testing.T, id string, opt Options) string {
+	t.Helper()
+	d, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := d.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tb := range tables {
+		sb.WriteString(tb.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestDriversDeterministicAcrossWorkerCounts renders a representative
+// sample of drivers serially and on a wide pool and requires byte-equal
+// tables: the engine must never let worker count leak into results.
+func TestDriversDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy drivers skipped in -short mode")
+	}
+	// A distinct seed keeps this test's grid points out of cache overlap
+	// with the other test files' runs, so the parallel run below really
+	// computes (first to a key computes, later runs hit; either path must
+	// yield identical bytes).
+	opt := Options{Scale: 0.12, Seed: 31}
+	for _, id := range []string{"fig2", "fig6", "fig7", "fig10", "session", "designspace"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			serialOpt := opt
+			serialOpt.Workers = 1
+			wideOpt := opt
+			wideOpt.Workers = 8
+			serial := renderAll(t, id, serialOpt)
+			wide := renderAll(t, id, wideOpt)
+			if serial != wide {
+				t.Errorf("%s: workers=1 and workers=8 rendered different tables:\n--- serial ---\n%s\n--- workers=8 ---\n%s",
+					id, serial, wide)
+			}
+		})
+	}
+}
+
+// TestGridCacheSharedAcrossDrivers: Figures 10 and 11 report the same
+// scaling sweep; after Fig10 has run, Fig11's grid must be fully memoized.
+func TestGridCacheSharedAcrossDrivers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy drivers skipped in -short mode")
+	}
+	opt := Options{Scale: 0.12, Seed: 57}
+	if _, err := Fig10(opt); err != nil {
+		t.Fatal(err)
+	}
+	hits0, misses0 := gridCache.Stats()
+	if _, err := Fig11(opt); err != nil {
+		t.Fatal(err)
+	}
+	hits1, misses1 := gridCache.Stats()
+	if misses1 != misses0 {
+		t.Errorf("Fig11 after Fig10 created %d new cache entries, want 0", misses1-misses0)
+	}
+	if hits1 == hits0 {
+		t.Error("Fig11 after Fig10 recorded no cache hits")
+	}
+}

@@ -12,13 +12,21 @@
 // exposes the library's primary operations; see the examples directory for
 // runnable scenarios, and cmd/sprintbench to regenerate the paper's
 // evaluation.
+//
+// Every experiment sweep executes through the internal/engine worker pool,
+// so regeneration is parallel by default. Point evaluations are
+// deterministic, so any worker count — including 1, which is exactly
+// serial — produces identical tables; see RunOptions.Workers and RunGrid
+// for batch simulation from client code.
 package sprinting
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"sprinting/internal/core"
+	"sprinting/internal/engine"
 	"sprinting/internal/experiments"
 	"sprinting/internal/governor"
 	"sprinting/internal/powergrid"
@@ -140,6 +148,37 @@ func SimulateActivation(rampS float64) (*ActivationResult, error) {
 	return powergrid.Simulate(cfg, sched, powergrid.DefaultSimOptions(sched))
 }
 
+// SimulateActivations runs SimulateActivation for every ramp concurrently
+// on a bounded worker pool (workers <= 0 selects GOMAXPROCS, 1 is exactly
+// serial), returning results in ramp order.
+func SimulateActivations(rampsS []float64, workers int) ([]*ActivationResult, error) {
+	return engine.Map(context.Background(), rampsS,
+		func(_ context.Context, rampS float64) (*ActivationResult, error) {
+			return SimulateActivation(rampS)
+		}, engine.Options{Workers: workers})
+}
+
+// SimulateSprintThermalsBatch runs SimulateSprintThermals for every sprint
+// power concurrently on a bounded worker pool, returning transients in
+// power order. The error reports any simulation panic the pool isolated.
+func SimulateSprintThermalsBatch(d ThermalDesign, powersW []float64, workers int) ([]SprintTransient, error) {
+	return engine.Map(context.Background(), powersW,
+		func(_ context.Context, p float64) (SprintTransient, error) {
+			return SimulateSprintThermals(d, p), nil
+		}, engine.Options{Workers: workers})
+}
+
+// SimulateCooldownThermalsBatch runs SimulateCooldownThermals for every
+// sprint power concurrently on a bounded worker pool, returning transients
+// in power order. The error reports any simulation panic the pool
+// isolated.
+func SimulateCooldownThermalsBatch(d ThermalDesign, powersW []float64, workers int) ([]CooldownTransient, error) {
+	return engine.Map(context.Background(), powersW,
+		func(_ context.Context, p float64) (CooldownTransient, error) {
+			return SimulateCooldownThermals(d, p), nil
+		}, engine.Options{Workers: workers})
+}
+
 // PowerSupply is the §6 hybrid battery + ultracapacitor model.
 type PowerSupply = powersource.HybridSupply
 
@@ -192,6 +231,17 @@ func EvaluateSession(bursts []Burst, policy SessionPolicy) SessionMetrics {
 	return session.Evaluate(bursts, policy, session.DefaultConfig())
 }
 
+// EvaluateSessions services the burst trace under every policy
+// concurrently on a bounded worker pool (workers <= 0 selects GOMAXPROCS,
+// 1 is exactly serial), returning metrics in policy order. The error
+// reports any evaluation panic the pool isolated.
+func EvaluateSessions(bursts []Burst, policies []SessionPolicy, workers int) ([]SessionMetrics, error) {
+	return engine.Map(context.Background(), policies,
+		func(_ context.Context, p SessionPolicy) (SessionMetrics, error) {
+			return EvaluateSession(bursts, p), nil
+		}, engine.Options{Workers: workers})
+}
+
 // Table is a printable experiment result.
 type Table = table.Table
 
@@ -204,30 +254,46 @@ func ExperimentIDs() []string {
 	return ids
 }
 
+// RunOptions tune one experiment regeneration.
+type RunOptions struct {
+	// Scale multiplies workload input sizes; <= 0 or 1 selects the
+	// calibrated defaults, smaller values give quick approximate runs.
+	Scale float64
+	// Workers bounds the engine pool evaluating the experiment's sweep;
+	// <= 0 selects GOMAXPROCS and 1 is exactly serial. Tables are
+	// identical at every worker count.
+	Workers int
+	// CSV selects machine-readable output (one CSV block per table,
+	// preceded by a `# title` comment line) instead of rendered tables.
+	CSV bool
+}
+
 // RunExperiment regenerates one paper table/figure at the given input
-// scale (1 = calibrated defaults) and writes the tables to w.
+// scale (1 = calibrated defaults) and writes the tables to w, evaluating
+// the sweep on the default worker pool.
 func RunExperiment(w io.Writer, id string, scale float64) error {
-	return runExperiment(w, id, scale, false)
+	return RunExperimentWith(w, id, RunOptions{Scale: scale})
 }
 
-// RunExperimentCSV is RunExperiment with machine-readable CSV output
-// (one CSV block per table, preceded by a `# title` comment line).
+// RunExperimentCSV is RunExperiment with machine-readable CSV output.
 func RunExperimentCSV(w io.Writer, id string, scale float64) error {
-	return runExperiment(w, id, scale, true)
+	return RunExperimentWith(w, id, RunOptions{Scale: scale, CSV: true})
 }
 
-func runExperiment(w io.Writer, id string, scale float64, csv bool) error {
+// RunExperimentWith regenerates one paper table/figure under the full set
+// of run options.
+func RunExperimentWith(w io.Writer, id string, opt RunOptions) error {
 	d, err := experiments.ByID(id)
 	if err != nil {
 		return err
 	}
-	tables, err := d.Run(experiments.Options{Scale: scale})
+	tables, err := d.Run(experiments.Options{Scale: opt.Scale, Workers: opt.Workers})
 	if err != nil {
 		return fmt.Errorf("sprinting: experiment %s: %w", id, err)
 	}
 	fmt.Fprintf(w, "# %s\n\n", d.Title)
 	for _, tb := range tables {
-		if csv {
+		if opt.CSV {
 			fmt.Fprintf(w, "# %s\n%s\n", tb.Title, tb.CSV())
 			continue
 		}
@@ -235,4 +301,18 @@ func runExperiment(w io.Writer, id string, scale float64, csv bool) error {
 		fmt.Fprintln(w)
 	}
 	return nil
+}
+
+// GridPoint is one simulation point of a batch run: a kernel at an input
+// size under a full sprint-system configuration.
+type GridPoint = engine.Point
+
+// RunGrid evaluates a batch of simulation points concurrently on a bounded
+// worker pool (workers <= 0 selects GOMAXPROCS, 1 is exactly serial) and
+// returns the results in point order regardless of completion order.
+// Evaluations are deterministic, so every worker count produces identical
+// results; a panicking or failing point is isolated and reported in the
+// joined error while the remaining points still complete.
+func RunGrid(points []GridPoint, workers int) ([]Result, error) {
+	return engine.RunGrid(context.Background(), points, engine.Options{Workers: workers})
 }
