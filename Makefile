@@ -1,9 +1,10 @@
 # Tier-1 verification is `make test`; `make bench` regenerates the whole
-# evaluation as benchmarks.
+# evaluation as benchmarks; `make fleet` runs the datacenter fleet
+# simulation side by side across dispatch policies.
 
 GO ?= go
 
-.PHONY: all build test bench vet
+.PHONY: all build test bench vet fleet
 
 all: build
 
@@ -18,3 +19,6 @@ test: vet
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+fleet:
+	$(GO) run ./cmd/fleetsim -nodes 100 -requests 20000

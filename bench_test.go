@@ -6,6 +6,7 @@
 package sprinting_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -28,7 +29,7 @@ func benchExperiment(b *testing.B, id string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.ResetCache()
-		tables, err := d.Run(opt)
+		tables, err := d.Run(context.Background(), opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,6 +130,29 @@ func BenchmarkEngineFigArchSweep(b *testing.B) {
 		b.Run(name, func(b *testing.B) { benchEngineFigArchSweep(b, workers) })
 	}
 }
+
+// BenchmarkFleetSweep measures the fleet study's shape at production
+// scale: every dispatch policy over a 100-node fleet serving a 20k-request
+// open-loop trace, evaluated as one engine sweep (one worker per policy).
+func BenchmarkFleetSweep(b *testing.B) {
+	var cfgs []sprinting.FleetConfig
+	for _, p := range sprinting.FleetPolicies() {
+		cfg := sprinting.DefaultFleetConfig(p)
+		cfg.Nodes = 100
+		cfg.Requests = 20000
+		cfgs = append(cfgs, cfg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sprinting.SimulateFleetSweep(cfgs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetPolicyExperiment regenerates the fleet_policy experiment
+// tables (policies × loads × fleet sizes).
+func BenchmarkFleetPolicyExperiment(b *testing.B) { benchExperiment(b, "fleet_policy") }
 
 // BenchmarkSprintRunSobel16 measures one full co-simulated 16-core sprint
 // (machine + thermal + runtime) on the default sobel input.

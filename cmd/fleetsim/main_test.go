@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// runOut drives the command and returns (stdout, exit code).
+func runOut(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(context.Background(), args, &out, &errb)
+	if code != 0 {
+		t.Logf("stderr: %s", errb.String())
+	}
+	return out.String(), code
+}
+
+func TestSmoke(t *testing.T) {
+	out, code := runOut(t, "-nodes", "4", "-requests", "300", "-policy", "sprint-aware")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"fleet: 4 nodes", "sprint-aware", "p999"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllPoliciesListed(t *testing.T) {
+	out, code := runOut(t, "-nodes", "4", "-requests", "300")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"round-robin", "least-loaded", "sprint-aware", "hedged"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing policy %q", want)
+		}
+	}
+}
+
+// TestWorkerCountDoesNotChangeOutput is the binary-level determinism
+// guarantee: simulations are pure functions of their configs and the
+// engine returns results in config order, so serial and parallel sweeps
+// render byte-identical reports.
+func TestWorkerCountDoesNotChangeOutput(t *testing.T) {
+	args := []string{"-nodes", "32", "-requests", "3000", "-seed", "9"}
+	serial, code := runOut(t, append(args, "-workers", "1")...)
+	if code != 0 {
+		t.Fatalf("serial exit %d", code)
+	}
+	wide, code := runOut(t, append(args, "-workers", "8")...)
+	if code != 0 {
+		t.Fatalf("wide exit %d", code)
+	}
+	if serial != wide {
+		t.Errorf("workers=1 and workers=8 differ:\n--- serial ---\n%s\n--- wide ---\n%s", serial, wide)
+	}
+}
+
+func TestBadFlagsFail(t *testing.T) {
+	if _, code := runOut(t, "-bogus"); code != 2 {
+		t.Errorf("bad flag should exit 2, got %d", code)
+	}
+	if _, code := runOut(t, "-policy", "nope"); code != 2 {
+		t.Errorf("bad policy should exit 2, got %d", code)
+	}
+	if _, code := runOut(t, "-nodes", "-3"); code != 1 {
+		t.Errorf("invalid config should exit 1, got %d", code)
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb bytes.Buffer
+	if code := run(ctx, []string{"-nodes", "16", "-requests", "50000"}, &out, &errb); code != 1 {
+		t.Errorf("cancelled run should exit 1, got %d", code)
+	}
+}

@@ -12,43 +12,65 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"sprinting"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command against the given streams; main is the only
+// caller that attaches real ones (tests drive buffers).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gridsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		rampUs  = flag.Float64("ramp-us", -1, "activation ramp in µs (0 = abrupt; negative = run the paper's three schedules)")
-		csvOut  = flag.String("csv", "", "write the supply-voltage trace to this CSV file (single-ramp mode)")
-		workers = flag.Int("workers", 0, "engine pool size (0 = GOMAXPROCS, 1 = serial)")
+		rampUs  = fs.Float64("ramp-us", -1, "activation ramp in µs (0 = abrupt; negative = run the paper's three schedules)")
+		csvOut  = fs.String("csv", "", "write the supply-voltage trace to this CSV file (single-ramp mode)")
+		workers = fs.Int("workers", 0, "engine pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *rampUs < 0 {
 		ramps := []float64{0, 1.28e-6, 128e-6}
-		results, err := sprinting.SimulateActivations(ramps, *workers)
+		results, err := sprinting.SimulateActivationsContext(ctx, ramps, *workers)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "gridsim: %v\n", err)
+			return 1
 		}
 		for i, ramp := range ramps {
-			report(ramp, results[i], "")
+			if code := report(stdout, stderr, ramp, results[i], ""); code != 0 {
+				return code
+			}
 		}
-		return
+		return 0
 	}
 	rampS := *rampUs * 1e-6
 	res, err := sprinting.SimulateActivation(rampS)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "gridsim: %v\n", err)
+		return 1
 	}
-	report(rampS, res, *csvOut)
+	return report(stdout, stderr, rampS, res, *csvOut)
 }
 
-func report(rampS float64, res *sprinting.ActivationResult, csvOut string) {
+func report(stdout, stderr io.Writer, rampS float64, res *sprinting.ActivationResult, csvOut string) int {
 	name := "abrupt (1ns)"
 	if rampS > 0 {
 		name = fmt.Sprintf("linear ramp %.3g µs", rampS*1e6)
@@ -57,13 +79,14 @@ func report(rampS float64, res *sprinting.ActivationResult, csvOut string) {
 	if !res.WithinTolerance {
 		verdict = "VIOLATES 2% tolerance"
 	}
-	fmt.Printf("%-24s min %.4f V  settle %.4f V  max dev %.2f%%  %s\n",
+	fmt.Fprintf(stdout, "%-24s min %.4f V  settle %.4f V  max dev %.2f%%  %s\n",
 		name, res.MinV, res.FinalV, res.MaxDeviationFrac*100, verdict)
 	if csvOut != "" {
 		if err := os.WriteFile(csvOut, []byte(res.Supply.CSV()), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "gridsim: writing %s: %v\n", csvOut, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "gridsim: writing %s: %v\n", csvOut, err)
+			return 1
 		}
-		fmt.Printf("  trace written to %s\n", csvOut)
+		fmt.Fprintf(stdout, "  trace written to %s\n", csvOut)
 	}
+	return 0
 }

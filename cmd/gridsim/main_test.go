@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runOut(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(context.Background(), args, &out, &errb)
+	if code != 0 {
+		t.Logf("stderr: %s", errb.String())
+	}
+	return out.String(), code
+}
+
+func TestSmokeSingleRamp(t *testing.T) {
+	out, code := runOut(t, "-ramp-us", "12.8")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "linear ramp") || !strings.Contains(out, "tolerance") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestPaperSchedules(t *testing.T) {
+	out, code := runOut(t, "-workers", "1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "abrupt (1ns)") || strings.Count(out, "\n") != 3 {
+		t.Errorf("want the paper's three schedules:\n%s", out)
+	}
+}
+
+func TestCSVTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	_, code := runOut(t, "-ramp-us", "0", "-csv", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		t.Fatalf("trace not written: %v", err)
+	}
+}
+
+func TestBadFlagFails(t *testing.T) {
+	if _, code := runOut(t, "-bogus"); code != 2 {
+		t.Errorf("bad flag should exit 2, got %d", code)
+	}
+}

@@ -14,39 +14,60 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"sprinting"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command against the given streams; main is the only
+// caller that attaches real ones (tests drive buffers).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sessionsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n       = flag.Int("bursts", 24, "number of bursts in the session")
-		gap     = flag.Float64("gap", 10, "mean inter-arrival gap in seconds")
-		work    = flag.Float64("work", 2, "mean burst work in single-core seconds")
-		seed    = flag.Int64("seed", 12345, "trace seed")
-		workers = flag.Int("workers", 0, "engine pool size (0 = GOMAXPROCS, 1 = serial)")
+		n       = fs.Int("bursts", 24, "number of bursts in the session")
+		gap     = fs.Float64("gap", 10, "mean inter-arrival gap in seconds")
+		work    = fs.Float64("work", 2, "mean burst work in single-core seconds")
+		seed    = fs.Int64("seed", 12345, "trace seed")
+		workers = fs.Int("workers", 0, "engine pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	bursts := sprinting.GenerateSession(*n, *gap, *work, *seed)
-	fmt.Printf("session: %d bursts, mean gap %.1f s, mean work %.1f s (seed %d)\n\n",
+	fmt.Fprintf(stdout, "session: %d bursts, mean gap %.1f s, mean work %.1f s (seed %d)\n\n",
 		*n, *gap, *work, *seed)
-	fmt.Printf("%-18s %14s %14s %18s %15s\n",
+	fmt.Fprintf(stdout, "%-18s %14s %14s %18s %15s\n",
 		"policy", "mean resp (s)", "p95 resp (s)", "full intensity %", "violation (J)")
 	policies := []sprinting.SessionPolicy{
 		sprinting.SessionSustained, sprinting.SessionGoverned, sprinting.SessionUnmanaged,
 	}
-	metrics, err := sprinting.EvaluateSessions(bursts, policies, *workers)
+	metrics, err := sprinting.EvaluateSessionsContext(ctx, bursts, policies, *workers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sessionsim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "sessionsim:", err)
+		return 1
 	}
 	for i, m := range metrics {
-		fmt.Printf("%-18s %14.3f %14.3f %18.1f %15.2f\n",
+		fmt.Fprintf(stdout, "%-18s %14.3f %14.3f %18.1f %15.2f\n",
 			policies[i].String(), m.MeanResponseS, m.P95ResponseS, m.FullIntensityPct, m.ViolationJ)
 	}
-	fmt.Println("\ngoverned sprinting tracks unmanaged response times while never exceeding the thermal budget")
+	fmt.Fprintln(stdout, "\ngoverned sprinting tracks unmanaged response times while never exceeding the thermal budget")
+	return 0
 }

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func runOut(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(context.Background(), args, &out, &errb)
+	if code != 0 {
+		t.Logf("stderr: %s", errb.String())
+	}
+	return out.String(), code
+}
+
+func TestSmoke(t *testing.T) {
+	out, code := runOut(t, "-bursts", "8", "-gap", "5", "-work", "1", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"session: 8 bursts", "sustained", "governed sprint", "unmanaged sprint"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWorkerCountDoesNotChangeOutput(t *testing.T) {
+	args := []string{"-bursts", "16", "-seed", "5"}
+	serial, code := runOut(t, append(args, "-workers", "1")...)
+	if code != 0 {
+		t.Fatalf("serial exit %d", code)
+	}
+	wide, code := runOut(t, append(args, "-workers", "4")...)
+	if code != 0 {
+		t.Fatalf("wide exit %d", code)
+	}
+	if serial != wide {
+		t.Errorf("workers=1 and workers=4 differ:\n%s\nvs\n%s", serial, wide)
+	}
+}
+
+func TestBadFlagFails(t *testing.T) {
+	if _, code := runOut(t, "-bogus"); code != 2 {
+		t.Errorf("bad flag should exit 2, got %d", code)
+	}
+}

@@ -1,7 +1,8 @@
 // Command sprintbench regenerates the paper's evaluation: every table and
 // figure, or a chosen subset, printed as ASCII tables. Each experiment's
 // sweep is evaluated concurrently on the shared engine worker pool;
-// -workers=1 reproduces serial execution with identical output.
+// -workers=1 reproduces serial execution with identical output. Ctrl-C
+// cancels the sweep cleanly between points.
 //
 // Usage:
 //
@@ -11,31 +12,51 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"sprinting"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command against the given streams; main is the only
+// caller that attaches real ones (tests drive buffers).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sprintbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		scale   = flag.Float64("scale", 1, "input-size multiplier (<1 for quick approximate runs)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		format  = flag.String("format", "table", "output format: table | csv")
-		workers = flag.Int("workers", 0, "engine pool size (0 = GOMAXPROCS, 1 = serial)")
+		exp     = fs.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale   = fs.Float64("scale", 1, "input-size multiplier (<1 for quick approximate runs)")
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		format  = fs.String("format", "table", "output format: table | csv")
+		workers = fs.Int("workers", 0, "engine pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	ids := sprinting.ExperimentIDs()
 	if *list {
 		for _, id := range ids {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return 0
 	}
 
 	selected := ids
@@ -49,12 +70,13 @@ func main() {
 		}
 		start := time.Now()
 		opt := sprinting.RunOptions{Scale: *scale, Workers: *workers, CSV: *format == "csv"}
-		if err := sprinting.RunExperimentWith(os.Stdout, id, opt); err != nil {
-			fmt.Fprintf(os.Stderr, "sprintbench: %v\n", err)
-			os.Exit(1)
+		if err := sprinting.RunExperimentWithContext(ctx, stdout, id, opt); err != nil {
+			fmt.Fprintf(stderr, "sprintbench: %v\n", err)
+			return 1
 		}
 		if *format != "csv" {
-			fmt.Printf("(%s regenerated in %.1fs)\n\n", id, time.Since(start).Seconds())
+			fmt.Fprintf(stdout, "(%s regenerated in %.1fs)\n\n", id, time.Since(start).Seconds())
 		}
 	}
+	return 0
 }

@@ -13,91 +13,112 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"sprinting"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command against the given streams; main is the only
+// caller that attaches real ones (tests drive buffers).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("thermalsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		mode    = flag.String("mode", "sprint", "sprint | cooldown")
-		power   = flag.String("power", "16", "sprint power in watts; comma-separated values sweep the design point")
-		pcmMg   = flag.Float64("pcm-mg", 150, "PCM mass in milligrams")
-		meltC   = flag.Float64("melt-c", 60, "PCM melting point in °C")
-		csvOut  = flag.String("csv", "", "write the junction trace to this CSV file (single-power mode)")
-		workers = flag.Int("workers", 0, "engine pool size (0 = GOMAXPROCS, 1 = serial)")
+		mode    = fs.String("mode", "sprint", "sprint | cooldown")
+		power   = fs.String("power", "16", "sprint power in watts; comma-separated values sweep the design point")
+		pcmMg   = fs.Float64("pcm-mg", 150, "PCM mass in milligrams")
+		meltC   = fs.Float64("melt-c", 60, "PCM melting point in °C")
+		csvOut  = fs.String("csv", "", "write the junction trace to this CSV file (single-power mode)")
+		workers = fs.Int("workers", 0, "engine pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	powers, err := parsePowers(*power)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "thermalsim: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "thermalsim: %v\n", err)
+		return 2
 	}
 	if len(powers) > 1 && *csvOut != "" {
-		fmt.Fprintln(os.Stderr, "thermalsim: -csv requires a single -power value")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "thermalsim: -csv requires a single -power value")
+		return 2
 	}
 
 	design := sprinting.DefaultThermalDesign()
 	design.PCMMassG = *pcmMg / 1000
 	design.PCM.MeltingPointC = *meltC
 	if err := design.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "thermalsim: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "thermalsim: %v\n", err)
+		return 1
 	}
 
 	switch *mode {
 	case "sprint":
-		results, err := sprinting.SimulateSprintThermalsBatch(design, powers, *workers)
+		results, err := sprinting.SimulateSprintThermalsBatchContext(ctx, design, powers, *workers)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "thermalsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "thermalsim: %v\n", err)
+			return 1
 		}
 		for i, p := range powers {
 			res := results[i]
-			fmt.Printf("sprint at %.1f W, %.0f mg PCM (melt %.1f °C):\n", p, *pcmMg, *meltC)
-			fmt.Printf("  melt start      %.3f s\n", res.MeltStartS)
-			fmt.Printf("  melt complete   %.3f s\n", res.MeltEndS)
-			fmt.Printf("  plateau         %.3f s\n", res.PlateauS)
+			fmt.Fprintf(stdout, "sprint at %.1f W, %.0f mg PCM (melt %.1f °C):\n", p, *pcmMg, *meltC)
+			fmt.Fprintf(stdout, "  melt start      %.3f s\n", res.MeltStartS)
+			fmt.Fprintf(stdout, "  melt complete   %.3f s\n", res.MeltEndS)
+			fmt.Fprintf(stdout, "  plateau         %.3f s\n", res.PlateauS)
 			if res.Truncated {
-				fmt.Printf("  sprint duration > %.3f s (budget not exhausted in horizon)\n", res.SprintEndS)
+				fmt.Fprintf(stdout, "  sprint duration > %.3f s (budget not exhausted in horizon)\n", res.SprintEndS)
 			} else {
-				fmt.Printf("  sprint duration %.3f s\n", res.SprintEndS)
+				fmt.Fprintf(stdout, "  sprint duration %.3f s\n", res.SprintEndS)
 			}
-			fmt.Printf("  peak junction   %.2f °C\n", res.MaxJunctionC)
-			if *csvOut != "" {
-				writeCSV(*csvOut, res.Junction.CSV())
+			fmt.Fprintf(stdout, "  peak junction   %.2f °C\n", res.MaxJunctionC)
+			if code := writeCSV(stdout, stderr, *csvOut, res.Junction.CSV()); code != 0 {
+				return code
 			}
 		}
 	case "cooldown":
-		results, err := sprinting.SimulateCooldownThermalsBatch(design, powers, *workers)
+		results, err := sprinting.SimulateCooldownThermalsBatchContext(ctx, design, powers, *workers)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "thermalsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "thermalsim: %v\n", err)
+			return 1
 		}
 		for i, p := range powers {
 			res := results[i]
-			fmt.Printf("cooldown after %.1f W sprint, %.0f mg PCM:\n", p, *pcmMg)
-			fmt.Printf("  refreeze start    %.2f s\n", res.FreezeStartS)
-			fmt.Printf("  refreeze complete %.2f s\n", res.FreezeEndS)
+			fmt.Fprintf(stdout, "cooldown after %.1f W sprint, %.0f mg PCM:\n", p, *pcmMg)
+			fmt.Fprintf(stdout, "  refreeze start    %.2f s\n", res.FreezeStartS)
+			fmt.Fprintf(stdout, "  refreeze complete %.2f s\n", res.FreezeEndS)
 			if res.NearOK {
-				fmt.Printf("  near ambient      %.2f s (within 3 °C)\n", res.NearAmbientS)
+				fmt.Fprintf(stdout, "  near ambient      %.2f s (within 3 °C)\n", res.NearAmbientS)
 			} else {
-				fmt.Println("  near ambient      not reached in horizon")
+				fmt.Fprintln(stdout, "  near ambient      not reached in horizon")
 			}
-			if *csvOut != "" {
-				writeCSV(*csvOut, res.Junction.CSV())
+			if code := writeCSV(stdout, stderr, *csvOut, res.Junction.CSV()); code != 0 {
+				return code
 			}
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "thermalsim: unknown mode %q (want sprint|cooldown)\n", *mode)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "thermalsim: unknown mode %q (want sprint|cooldown)\n", *mode)
+		return 2
 	}
+	return 0
 }
 
 func parsePowers(list string) ([]float64, error) {
@@ -119,13 +140,14 @@ func parsePowers(list string) ([]float64, error) {
 	return powers, nil
 }
 
-func writeCSV(path, data string) {
+func writeCSV(stdout, stderr io.Writer, path, data string) int {
 	if path == "" {
-		return
+		return 0
 	}
 	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "thermalsim: writing %s: %v\n", path, err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "thermalsim: writing %s: %v\n", path, err)
+		return 1
 	}
-	fmt.Printf("  trace written to %s\n", path)
+	fmt.Fprintf(stdout, "  trace written to %s\n", path)
+	return 0
 }

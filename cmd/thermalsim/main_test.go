@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func runOut(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(context.Background(), args, &out, &errb)
+	if code != 0 {
+		t.Logf("stderr: %s", errb.String())
+	}
+	return out.String(), code
+}
+
+func TestSmokeSprint(t *testing.T) {
+	out, code := runOut(t, "-mode", "sprint", "-power", "16")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"sprint at 16.0 W", "melt start", "peak junction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeCooldown(t *testing.T) {
+	out, code := runOut(t, "-mode", "cooldown", "-power", "16")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "refreeze start") {
+		t.Errorf("unexpected cooldown output:\n%s", out)
+	}
+}
+
+func TestPowerSweepOrder(t *testing.T) {
+	out, code := runOut(t, "-mode", "sprint", "-power", "8,16", "-workers", "2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Index(out, "sprint at 8.0 W") > strings.Index(out, "sprint at 16.0 W") {
+		t.Errorf("sweep output out of list order:\n%s", out)
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	if _, code := runOut(t, "-bogus"); code != 2 {
+		t.Errorf("bad flag should exit 2, got %d", code)
+	}
+	if _, code := runOut(t, "-power", "x"); code != 2 {
+		t.Errorf("bad power should exit 2, got %d", code)
+	}
+	if _, code := runOut(t, "-mode", "fry"); code != 2 {
+		t.Errorf("bad mode should exit 2, got %d", code)
+	}
+	if _, code := runOut(t, "-power", "8,16", "-csv", "x.csv"); code != 2 {
+		t.Errorf("-csv with a sweep should exit 2, got %d", code)
+	}
+}

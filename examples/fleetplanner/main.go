@@ -1,0 +1,69 @@
+// Fleet planner — the datacenter capacity-planning question the fleet
+// simulator answers: given a target request rate and a p99 latency SLO,
+// how many sprint-capable nodes does each dispatch policy need? Thermal-
+// aware dispatch turns sprint headroom into tail latency, so it meets the
+// SLO with fewer nodes than a state-blind dispatcher — sprinting as a
+// capacity multiplier, not just a responsiveness trick.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sprinting"
+)
+
+func main() {
+	const (
+		rateRPS   = 6.0  // offered fleet-wide load
+		meanWorkS = 2.0  // mean single-core seconds per request
+		sloP99S   = 0.75 // the tail budget a product team might set
+	)
+	fleetSizes := []int{8, 10, 12, 14, 16, 20}
+	policies := []sprinting.FleetPolicy{sprinting.FleetRoundRobin, sprinting.FleetSprintAware}
+
+	fmt.Printf("demand: %.1f req/s of %.1f s bursts; SLO: p99 ≤ %.2f s\n\n", rateRPS, meanWorkS, sloP99S)
+	fmt.Printf("%-8s", "nodes")
+	for _, p := range policies {
+		fmt.Printf(" %16s", p.String()+" p99")
+	}
+	fmt.Println()
+
+	smallest := map[sprinting.FleetPolicy]int{}
+	for _, nodes := range fleetSizes {
+		var cfgs []sprinting.FleetConfig
+		for _, p := range policies {
+			cfg := sprinting.DefaultFleetConfig(p)
+			cfg.Nodes = nodes
+			cfg.Requests = 4000
+			cfg.ArrivalRatePerS = rateRPS
+			cfg.MeanWorkS = meanWorkS
+			cfgs = append(cfgs, cfg)
+		}
+		metrics, err := sprinting.SimulateFleetSweep(cfgs, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d", nodes)
+		for i, p := range policies {
+			marker := " "
+			if metrics[i].P99S <= sloP99S {
+				marker = "✓"
+				if _, ok := smallest[p]; !ok {
+					smallest[p] = nodes
+				}
+			}
+			fmt.Printf(" %13.3f %s", metrics[i].P99S, marker)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	for _, p := range policies {
+		if n, ok := smallest[p]; ok {
+			fmt.Printf("%-14s meets the SLO with %d nodes\n", p.String(), n)
+		} else {
+			fmt.Printf("%-14s never meets the SLO in this range\n", p.String())
+		}
+	}
+}

@@ -79,9 +79,10 @@ func point(kernel string, size workloads.SizeClass, opt Options, cfg core.Config
 }
 
 // runGrid evaluates a driver's point grid on the engine pool, returning
-// results in grid order.
-func runGrid(opt Options, points []engine.Point) ([]core.Result, error) {
-	return engine.RunGrid(context.Background(), points, opt.engineOptions())
+// results in grid order. Cancelling the context stops new points from
+// starting.
+func runGrid(ctx context.Context, opt Options, points []engine.Point) ([]core.Result, error) {
+	return engine.RunGrid(ctx, points, opt.engineOptions())
 }
 
 // Driver regenerates one experiment.
@@ -90,8 +91,8 @@ type Driver struct {
 	ID string
 	// Title describes the paper artifact.
 	Title string
-	// Run produces the tables.
-	Run func(Options) ([]*table.Table, error)
+	// Run produces the tables; the context cancels the driver's sweep.
+	Run func(context.Context, Options) ([]*table.Table, error)
 }
 
 // Registry returns all experiment drivers in paper order.
@@ -114,6 +115,7 @@ func Registry() []Driver {
 		{ID: "ablation", Title: "Ablations: solid sink, throttle fallback, pause discipline", Run: Ablations},
 		{ID: "designspace", Title: "Design space: sprint width × PCM mass (extension)", Run: DesignSpace},
 		{ID: "session", Title: "Session study: bursty user activity under sprint policies (extension)", Run: Session},
+		{ID: "fleet_policy", Title: "Fleet study: dispatch policies × loads × fleet sizes of sprinting nodes (extension)", Run: FleetPolicy},
 	}
 }
 

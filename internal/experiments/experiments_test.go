@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ func quickOpt() Options { return Options{Scale: 0.12, Seed: 7} }
 
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	want := []string{"fig1", "table1", "fig2", "fig3", "fig4a", "fig4b", "fig5", "fig6",
-		"sec6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "designspace", "session"}
+		"sec6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "designspace", "session", "fleet_policy"}
 	got := Registry()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d drivers, want %d", len(got), len(want))
@@ -40,14 +41,14 @@ func TestByID(t *testing.T) {
 // TestCheapDriversRun executes the drivers that do not need architectural
 // simulation at full fidelity.
 func TestCheapDriversRun(t *testing.T) {
-	for _, id := range []string{"fig1", "table1", "fig3", "fig4a", "fig4b", "fig5", "fig6", "sec6", "session"} {
+	for _, id := range []string{"fig1", "table1", "fig3", "fig4a", "fig4b", "fig5", "fig6", "sec6", "session", "fleet_policy"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			d, err := ByID(id)
 			if err != nil {
 				t.Fatal(err)
 			}
-			tables, err := d.Run(quickOpt())
+			tables, err := d.Run(context.Background(), quickOpt())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -70,7 +71,7 @@ func TestArchDriversRunQuick(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			tables, err := d.Run(quickOpt())
+			tables, err := d.Run(context.Background(), quickOpt())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -96,7 +97,7 @@ func checkTables(t *testing.T, tables []*table.Table) {
 }
 
 func TestFig1Values(t *testing.T) {
-	tables, err := Fig1(DefaultOptions())
+	tables, err := Fig1(context.Background(), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestFig1Values(t *testing.T) {
 }
 
 func TestTable1HasSixKernels(t *testing.T) {
-	tables, err := Table1(DefaultOptions())
+	tables, err := Table1(context.Background(), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -36,7 +36,7 @@ func limitedThermal(cfg core.Config) core.Config {
 // Fig7 regenerates Figure 7: 16-core parallel speedup vs idealized DVFS,
 // each under the 1.5 mg and 150 mg thermal configurations. The 5-point
 // column set for all six kernels is one engine grid.
-func Fig7(opt Options) ([]*table.Table, error) {
+func Fig7(ctx context.Context, opt Options) ([]*table.Table, error) {
 	opt = opt.withDefaults()
 	kernels := workloads.All()
 	var pts []engine.Point
@@ -49,7 +49,7 @@ func Fig7(opt Options) ([]*table.Table, error) {
 			point(k.Name, workloads.SizeB, opt, limitedThermal(core.DefaultConfig(core.DVFSSprint)), 64),
 		)
 	}
-	res, err := runGrid(opt, pts)
+	res, err := runGrid(ctx, opt, pts)
 	if err != nil {
 		return nil, err
 	}
@@ -73,10 +73,10 @@ func Fig7(opt Options) ([]*table.Table, error) {
 // Fig8 regenerates Figure 8: sobel speedup as input size grows, for the
 // two thermal configurations and DVFS. Input descriptions and the 4-point
 // column set per size both fan out on the engine pool.
-func Fig8(opt Options) ([]*table.Table, error) {
+func Fig8(ctx context.Context, opt Options) ([]*table.Table, error) {
 	opt = opt.withDefaults()
 	sizes := []workloads.SizeClass{workloads.SizeA, workloads.SizeB, workloads.SizeC, workloads.SizeD}
-	details, err := engine.Map(context.Background(), sizes,
+	details, err := engine.Map(ctx, sizes,
 		func(_ context.Context, size workloads.SizeClass) (string, error) {
 			inst, err := build("sobel", size, opt, 64)
 			if err != nil {
@@ -96,7 +96,7 @@ func Fig8(opt Options) ([]*table.Table, error) {
 			point("sobel", size, opt, limitedThermal(core.DefaultConfig(core.DVFSSprint)), 64),
 		)
 	}
-	res, err := runGrid(opt, pts)
+	res, err := runGrid(ctx, opt, pts)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +118,7 @@ func Fig8(opt Options) ([]*table.Table, error) {
 // Fig9 regenerates Figure 9: 16-core speedup for every kernel across its
 // input sizes, under both thermal configurations — one engine grid of
 // (kernel × size × {baseline, full, limited}).
-func Fig9(opt Options) ([]*table.Table, error) {
+func Fig9(ctx context.Context, opt Options) ([]*table.Table, error) {
 	opt = opt.withDefaults()
 	type rowSpec struct {
 		kernel string
@@ -136,7 +136,7 @@ func Fig9(opt Options) ([]*table.Table, error) {
 			)
 		}
 	}
-	res, err := runGrid(opt, pts)
+	res, err := runGrid(ctx, opt, pts)
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +164,7 @@ type scalingRow struct {
 // figures report the same runs; the engine's point cache makes the second
 // regeneration free, replacing the package-local memo this function used
 // to keep.
-func scalingStudy(opt Options) ([]scalingRow, error) {
+func scalingStudy(ctx context.Context, opt Options) ([]scalingRow, error) {
 	coreCounts := []int{1, 4, 16, 64}
 	type kernelIdx struct {
 		base   int
@@ -198,7 +198,7 @@ func scalingStudy(opt Options) ([]scalingRow, error) {
 		}
 		idxs = append(idxs, ix)
 	}
-	res, err := runGrid(opt, pts)
+	res, err := runGrid(ctx, opt, pts)
 	if err != nil {
 		return nil, err
 	}
@@ -223,9 +223,9 @@ func scalingStudy(opt Options) ([]scalingRow, error) {
 // Fig10 regenerates Figure 10: parallel speedup at 1/4/16/64 cores (fixed
 // voltage and frequency), largest inputs, plus the §8.5 2×-bandwidth
 // ablation for the bandwidth-limited kernels.
-func Fig10(opt Options) ([]*table.Table, error) {
+func Fig10(ctx context.Context, opt Options) ([]*table.Table, error) {
 	opt = opt.withDefaults()
-	rows, err := scalingStudy(opt)
+	rows, err := scalingStudy(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -247,9 +247,9 @@ func Fig10(opt Options) ([]*table.Table, error) {
 
 // Fig11 regenerates Figure 11: dynamic energy normalized to single-core
 // execution across core counts.
-func Fig11(opt Options) ([]*table.Table, error) {
+func Fig11(ctx context.Context, opt Options) ([]*table.Table, error) {
 	opt = opt.withDefaults()
-	rows, err := scalingStudy(opt)
+	rows, err := scalingStudy(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +270,7 @@ func Fig11(opt Options) ([]*table.Table, error) {
 // the paper's §8.5 intensity study into the joint design space a platform
 // architect would explore: wider sprints need more thermal capacitance to
 // pay off.
-func DesignSpace(opt Options) ([]*table.Table, error) {
+func DesignSpace(ctx context.Context, opt Options) ([]*table.Table, error) {
 	opt = opt.withDefaults()
 	masses := []float64{0.0015, 0.015, 0.150} // grams: 1.5 mg … 150 mg
 	widths := []int{2, 4, 8, 16}
@@ -284,7 +284,7 @@ func DesignSpace(opt Options) ([]*table.Table, error) {
 			pts = append(pts, point("sobel", workloads.SizeB, opt, cfg, 64))
 		}
 	}
-	res, err := runGrid(opt, pts)
+	res, err := runGrid(ctx, opt, pts)
 	if err != nil {
 		return nil, err
 	}
@@ -305,7 +305,7 @@ func DesignSpace(opt Options) ([]*table.Table, error) {
 // Ablations regenerates the design-choice studies DESIGN.md calls out.
 // The six architectural runs behind studies 2 and 3 form one engine grid;
 // the purely thermal study 1 stays inline.
-func Ablations(opt Options) ([]*table.Table, error) {
+func Ablations(ctx context.Context, opt Options) ([]*table.Table, error) {
 	opt = opt.withDefaults()
 
 	// 1. PCM vs equal-mass solid copper sink (thermal only).
@@ -328,7 +328,7 @@ func Ablations(opt Options) ([]*table.Table, error) {
 	thrCfg.HardwareThrottleOnly = true
 	noDeep := core.DefaultConfig(core.ParallelSprint)
 	noDeep.Arch.DeepSleepAfter = 0
-	res, err := runGrid(opt, []engine.Point{
+	res, err := runGrid(ctx, opt, []engine.Point{
 		point("sobel", workloads.SizeB, opt, core.DefaultConfig(core.Sustained), 64),
 		point("sobel", workloads.SizeB, opt, limitedThermal(core.DefaultConfig(core.ParallelSprint)), 64),
 		point("sobel", workloads.SizeB, opt, thrCfg, 64),

@@ -11,9 +11,9 @@ import (
 
 // simulateSchedules runs the PDN transient for each schedule on the engine
 // pool, returning results in schedule order.
-func simulateSchedules(opt Options, schedules []powergrid.Schedule) ([]*powergrid.Result, error) {
+func simulateSchedules(ctx context.Context, opt Options, schedules []powergrid.Schedule) ([]*powergrid.Result, error) {
 	cfg := powergrid.DefaultConfig()
-	return engine.Map(context.Background(), schedules,
+	return engine.Map(ctx, schedules,
 		func(_ context.Context, sched powergrid.Schedule) (*powergrid.Result, error) {
 			return powergrid.Simulate(cfg, sched, powergrid.DefaultSimOptions(sched))
 		}, opt.engineOptions())
@@ -23,13 +23,13 @@ func simulateSchedules(opt Options, schedules []powergrid.Schedule) ([]*powergri
 // core-activation schedules — abrupt (a), 1.28 µs linear ramp (b), and
 // 128 µs linear ramp (c) — plus the §5 published scalars. The three
 // transients run concurrently on the engine pool.
-func Fig6(opt Options) ([]*table.Table, error) {
+func Fig6(ctx context.Context, opt Options) ([]*table.Table, error) {
 	schedules := []powergrid.Schedule{
 		powergrid.Abrupt(2e-6),
 		powergrid.LinearRamp(2e-6, 1.28e-6),
 		powergrid.LinearRamp(2e-6, 128e-6),
 	}
-	results, err := simulateSchedules(opt, schedules)
+	results, err := simulateSchedules(ctx, opt, schedules)
 	if err != nil {
 		return nil, err
 	}
@@ -57,7 +57,7 @@ func GridTraces() (map[string]*powergrid.Result, error) {
 		powergrid.LinearRamp(2e-6, 1.28e-6),
 		powergrid.LinearRamp(2e-6, 128e-6),
 	}
-	results, err := simulateSchedules(Options{}, schedules)
+	results, err := simulateSchedules(context.Background(), Options{}, schedules)
 	if err != nil {
 		return nil, err
 	}

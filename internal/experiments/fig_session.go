@@ -15,7 +15,7 @@ import (
 // evaluation to the repeated-sprint pacing question §3 raises (sustained
 // performance stays TDP-bound; sprinting compresses each response). The
 // trace × policy cross-product fans out on the engine pool.
-func Session(opt Options) ([]*table.Table, error) {
+func Session(ctx context.Context, opt Options) ([]*table.Table, error) {
 	opt = opt.withDefaults()
 	cfg := session.DefaultConfig()
 
@@ -43,7 +43,7 @@ func Session(opt Options) ([]*table.Table, error) {
 			cells = append(cells, cell{bursts: bursts, policy: p})
 		}
 	}
-	metrics, err := engine.Map(context.Background(), cells,
+	metrics, err := engine.Map(ctx, cells,
 		func(_ context.Context, c cell) (session.Metrics, error) {
 			// Evaluate only reads the shared trace, so policies for one
 			// trace can score it concurrently.

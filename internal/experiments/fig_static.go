@@ -15,7 +15,7 @@ import (
 // Fig1 regenerates Figure 1: normalized power density (a) and percent dark
 // silicon (b) across process nodes under the three scaling scenarios,
 // projecting the scenarios concurrently on the engine pool.
-func Fig1(opt Options) ([]*table.Table, error) {
+func Fig1(ctx context.Context, opt Options) ([]*table.Table, error) {
 	scenarios := scaling.Scenarios()
 
 	pd := table.New("Figure 1(a): normalized power density", "process (nm)")
@@ -28,7 +28,7 @@ func Fig1(opt Options) ([]*table.Table, error) {
 		densities []float64
 		darks     []float64
 	}
-	proj, err := engine.Map(context.Background(), scenarios,
+	proj, err := engine.Map(ctx, scenarios,
 		func(_ context.Context, s scaling.Scenario) (projection, error) {
 			if err := s.Validate(); err != nil {
 				return projection{}, err
@@ -62,7 +62,7 @@ func Fig1(opt Options) ([]*table.Table, error) {
 }
 
 // Table1 regenerates Table 1: the kernel inventory.
-func Table1(Options) ([]*table.Table, error) {
+func Table1(context.Context, Options) ([]*table.Table, error) {
 	t := table.New("Table 1: parallel kernels used in the evaluation",
 		"kernel", "description", "origin", "input sizes")
 	for _, k := range workloads.All() {
@@ -79,7 +79,7 @@ func Table1(Options) ([]*table.Table, error) {
 }
 
 // Fig5 renders the Figure 5 PDN netlist summary.
-func Fig5(Options) ([]*table.Table, error) {
+func Fig5(context.Context, Options) ([]*table.Table, error) {
 	cfg := powergrid.DefaultConfig()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -94,7 +94,7 @@ func Fig5(Options) ([]*table.Table, error) {
 }
 
 // Sec6 regenerates the Section 6 power-source feasibility analysis.
-func Sec6(Options) ([]*table.Table, error) {
+func Sec6(context.Context, Options) ([]*table.Table, error) {
 	sources := table.New("Section 6: power sources",
 		"source", "max power (W)", "16W sprint alone?", "mass (g)", "note")
 	phone := powersource.PhoneLiIon

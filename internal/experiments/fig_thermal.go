@@ -16,7 +16,7 @@ import (
 // (cores active, cumulative computation, temperature). The three mode
 // transients run concurrently on the engine pool; each task builds its own
 // stack so no thermal state is shared.
-func Fig2(opt Options) ([]*table.Table, error) {
+func Fig2(ctx context.Context, opt Options) ([]*table.Table, error) {
 	const (
 		cores     = 16
 		corePower = 1.0 // W per active core
@@ -48,7 +48,7 @@ func Fig2(opt Options) ([]*table.Table, error) {
 		peak     float64
 		inSprint float64
 	}
-	results, err := engine.Map(context.Background(), modes,
+	results, err := engine.Map(ctx, modes,
 		func(_ context.Context, m mode) (milestones, error) {
 			var (
 				stack     = m.build()
@@ -104,7 +104,7 @@ func Fig2(opt Options) ([]*table.Table, error) {
 
 // Fig3 renders the Figure 3(c/d) PCM-augmented thermal stack as its
 // thermal-equivalent circuit, with the figure's annotated quantities.
-func Fig3(Options) ([]*table.Table, error) {
+func Fig3(context.Context, Options) ([]*table.Table, error) {
 	cfg := thermal.DefaultStackConfig()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -121,7 +121,7 @@ func Fig3(Options) ([]*table.Table, error) {
 
 // Fig4a regenerates Figure 4(a): the 16 W sprint-initiation transient on
 // the 1 W-TDP stack.
-func Fig4a(Options) ([]*table.Table, error) {
+func Fig4a(context.Context, Options) ([]*table.Table, error) {
 	cfg := thermal.DefaultStackConfig()
 	res := thermal.SimulateSprint(cfg, 16, 1e-4, 5)
 	t := table.New("Figure 4(a): sprint initiation (16 W on 1 W TDP, 150 mg PCM)",
@@ -138,7 +138,7 @@ func Fig4a(Options) ([]*table.Table, error) {
 }
 
 // Fig4b regenerates Figure 4(b): the post-sprint cooldown.
-func Fig4b(Options) ([]*table.Table, error) {
+func Fig4b(context.Context, Options) ([]*table.Table, error) {
 	cfg := thermal.DefaultStackConfig()
 	res := thermal.SimulateCooldown(cfg, 16, 0, 1e-3, 5, 120, 3)
 	t := table.New("Figure 4(b): post-sprint cooldown", "quantity", "measured", "paper")

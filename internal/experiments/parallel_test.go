@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -12,7 +13,7 @@ func renderAll(t *testing.T, id string, opt Options) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tables, err := d.Run(opt)
+	tables, err := d.Run(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestDriversDeterministicAcrossWorkerCounts(t *testing.T) {
 	// computes (first to a key computes, later runs hit; either path must
 	// yield identical bytes).
 	opt := Options{Scale: 0.12, Seed: 31}
-	for _, id := range []string{"fig2", "fig6", "fig7", "fig10", "session", "designspace"} {
+	for _, id := range []string{"fig2", "fig6", "fig7", "fig10", "session", "designspace", "fleet_policy"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			serialOpt := opt
@@ -60,11 +61,11 @@ func TestGridCacheSharedAcrossDrivers(t *testing.T) {
 		t.Skip("simulation-heavy drivers skipped in -short mode")
 	}
 	opt := Options{Scale: 0.12, Seed: 57}
-	if _, err := Fig10(opt); err != nil {
+	if _, err := Fig10(context.Background(), opt); err != nil {
 		t.Fatal(err)
 	}
 	hits0, misses0 := gridCache.Stats()
-	if _, err := Fig11(opt); err != nil {
+	if _, err := Fig11(context.Background(), opt); err != nil {
 		t.Fatal(err)
 	}
 	hits1, misses1 := gridCache.Stats()

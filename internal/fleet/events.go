@@ -1,0 +1,63 @@
+package fleet
+
+import "container/heap"
+
+// eventKind distinguishes the three event types of the simulation.
+type eventKind uint8
+
+const (
+	// evArrival dispatches a request to a node chosen by the policy.
+	evArrival eventKind = iota
+	// evHedge re-examines a request HedgeDelayS after arrival and, if it is
+	// still unfinished, dispatches a duplicate copy to a second node.
+	evHedge
+	// evComplete finishes a node's in-service copy and starts the next
+	// queued one.
+	evComplete
+)
+
+// event is one entry of the simulation's future-event list.
+type event struct {
+	// atS is the simulated firing time.
+	atS float64
+	// seq is the push order, the total tie-break: two events at the same
+	// instant fire in the order they were scheduled, so the event loop is a
+	// deterministic function of the configuration alone.
+	seq  uint64
+	kind eventKind
+	req  *request
+	node int
+}
+
+// eventQueue is a binary min-heap ordered by (atS, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].atS != q[j].atS {
+		return q[i].atS < q[j].atS
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// push schedules an event, stamping the deterministic tie-break sequence.
+func (s *sim) push(ev *event) {
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, ev)
+}
+
+// pop removes the earliest event.
+func (s *sim) pop() *event {
+	return heap.Pop(&s.events).(*event)
+}

@@ -1,0 +1,576 @@
+// Package fleet composes the per-node sprinting ingredients — the §7
+// governor budget, the thermal stack it manages, and the session burst
+// model — into a datacenter-scale discrete-event simulation: N
+// sprint-capable nodes, each owning its own governor and a bounded FIFO
+// queue, serve an open-loop request stream under a pluggable dispatch
+// policy, and the simulator reports the throughput, latency-percentile,
+// sprint-denial, and per-node energy picture a capacity planner needs.
+//
+// The simulator is deterministic by construction: the arrival trace is a
+// seeded function of the configuration, the future-event list is a binary
+// heap ordered by (time, schedule sequence) so simultaneous events fire in
+// a fixed order, and policy decisions read only simulation state. One
+// configuration therefore maps to exactly one Metrics value, which is what
+// lets the experiment drivers fan whole policy × load × size grids out on
+// the concurrent engine with byte-identical results at any worker count.
+//
+// Each node serves like the session evaluator's governed policy: a request
+// runs at full sprint width while the node's thermal budget lasts, then
+// degrades to the sustained rate; a service that could not run
+// start-to-finish at full width counts as a sprint denial. Hedged dispatch
+// additionally duplicates laggard requests (competitive-parallel
+// scheduling), paying duplicated service energy for tail latency.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"sprinting/internal/governor"
+	"sprinting/internal/session"
+)
+
+// Config parameterizes one fleet simulation; zero fields take the
+// DefaultConfig values.
+type Config struct {
+	// Nodes is the number of sprint-capable nodes in the fleet.
+	Nodes int
+	// Policy selects the dispatch policy.
+	Policy Policy
+	// Requests is the open-loop trace length.
+	Requests int
+	// ArrivalRatePerS is the fleet-wide request arrival rate; <= 0 selects
+	// ≈85% of the fleet's sustained service capacity (Nodes / MeanWorkS),
+	// the high-load regime where dispatch policy matters.
+	ArrivalRatePerS float64
+	// MeanWorkS is the mean single-core work per request in seconds.
+	MeanWorkS float64
+	// Seed fixes the arrival/work trace.
+	Seed int64
+	// QueueCap bounds each node's outstanding requests (in service plus
+	// queued); an arrival routed to a full node is dropped.
+	QueueCap int
+	// HedgeDelayS (Hedged policy only) is how long a request may remain
+	// unfinished before a duplicate is dispatched to a second node.
+	HedgeDelayS float64
+	// SprintWidth is the number of sprint cores per node (16).
+	SprintWidth int
+	// Node configures every node's governor and thermal budget.
+	Node governor.Config
+}
+
+// DefaultConfig returns a 16-node fleet of the paper's 16 W / 1 W phone
+// platforms under the given policy, offered ≈85% of sustained capacity.
+func DefaultConfig(p Policy) Config {
+	return Config{
+		Nodes:       16,
+		Policy:      p,
+		Requests:    2000,
+		MeanWorkS:   2,
+		Seed:        12345,
+		QueueCap:    256,
+		HedgeDelayS: 1,
+		SprintWidth: 16,
+		Node:        governor.DefaultConfig(),
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig(c.Policy)
+	if c.Nodes == 0 {
+		c.Nodes = d.Nodes
+	}
+	if c.Requests == 0 {
+		c.Requests = d.Requests
+	}
+	if c.MeanWorkS == 0 {
+		c.MeanWorkS = d.MeanWorkS
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = d.QueueCap
+	}
+	if c.HedgeDelayS == 0 {
+		c.HedgeDelayS = d.HedgeDelayS
+	}
+	if c.SprintWidth == 0 {
+		c.SprintWidth = d.SprintWidth
+	}
+	if c.Node.SprintPowerW == 0 {
+		c.Node = d.Node
+	}
+	return c
+}
+
+// EffectiveRatePerS resolves the arrival rate, applying the ≈85%-of-
+// capacity default when ArrivalRatePerS is unset.
+func (c Config) EffectiveRatePerS() float64 {
+	if c.ArrivalRatePerS > 0 {
+		return c.ArrivalRatePerS
+	}
+	c = c.withDefaults()
+	return 0.85 * float64(c.Nodes) / c.MeanWorkS
+}
+
+// Validate reports configuration errors (after defaults are applied).
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("fleet: need at least one node")
+	case c.Requests <= 0:
+		return fmt.Errorf("fleet: need at least one request")
+	case c.MeanWorkS <= 0:
+		return fmt.Errorf("fleet: mean work must be positive")
+	case c.QueueCap <= 0:
+		return fmt.Errorf("fleet: queue capacity must be positive")
+	case c.SprintWidth <= 0:
+		return fmt.Errorf("fleet: sprint width must be positive")
+	case !(c.EffectiveRatePerS() > 0) || math.IsInf(c.EffectiveRatePerS(), 0):
+		return fmt.Errorf("fleet: arrival rate must be positive and finite")
+	case c.Policy == Hedged && c.HedgeDelayS <= 0:
+		return fmt.Errorf("fleet: hedged dispatch needs a positive hedge delay")
+	case c.Policy == Hedged && c.Nodes < 2:
+		return fmt.Errorf("fleet: hedged dispatch needs at least two nodes")
+	case c.Policy < RoundRobin || c.Policy > Hedged:
+		return fmt.Errorf("fleet: unknown policy %d", int(c.Policy))
+	}
+	return c.Node.Validate()
+}
+
+// NodeStats summarizes one node's activity over the simulation.
+type NodeStats struct {
+	// ID is the node index.
+	ID int
+	// Served counts service executions, including hedge copies.
+	Served int
+	// Denials counts services the governor could not run start-to-finish
+	// at full sprint width.
+	Denials int
+	// Dropped counts arrivals bounced off this node's full queue.
+	Dropped int
+	// EnergyJ is the service energy the node drew (sprint slices at sprint
+	// power, degraded slices at nominal power).
+	EnergyJ float64
+	// BusyS is the total time the node spent serving.
+	BusyS float64
+}
+
+// Metrics is the outcome of one fleet simulation. Every field is a
+// deterministic function of the Config.
+type Metrics struct {
+	Policy Policy
+
+	// Requests / Completed / Dropped count the offered trace and its fate.
+	Requests  int
+	Completed int
+	Dropped   int
+
+	// HedgesIssued counts duplicated dispatches, HedgeWins the requests
+	// whose hedge copy replied first, and CancelledCopies queued copies
+	// skipped because the other copy already finished (Hedged policy only).
+	HedgesIssued    int
+	HedgeWins       int
+	CancelledCopies int
+
+	// SimS is the instant the last service completed; ThroughputRPS is
+	// Completed / SimS.
+	SimS          float64
+	ThroughputRPS float64
+
+	// Latency percentiles over completed requests (completion − arrival).
+	MeanS float64
+	P50S  float64
+	P95S  float64
+	P99S  float64
+	P999S float64
+	MaxS  float64
+
+	// SprintDenialRate is the fraction of services that could not run
+	// start-to-finish at full sprint width.
+	SprintDenialRate float64
+
+	// Per-node energy summary and the full per-node breakdown.
+	TotalEnergyJ      float64
+	MeanNodeEnergyJ   float64
+	MaxNodeEnergyJ    float64
+	EnergyPerRequestJ float64
+	Nodes             []NodeStats
+}
+
+// request is one open-loop arrival; doneS < 0 until its first completion.
+type request struct {
+	id        int
+	arrivalS  float64
+	workS     float64
+	doneS     float64
+	firstNode int
+	dropped   bool
+}
+
+// reqCopy is one dispatched copy of a request (hedging can make two).
+type reqCopy struct {
+	req   *request
+	hedge bool
+}
+
+// node is one sprint-capable server: a governor-managed budget plus a
+// bounded single-server FIFO queue.
+type node struct {
+	id  int
+	gov *governor.Governor
+
+	queue []reqCopy
+	head  int
+	// queuedNaiveS is the queued work at full sprint width, maintained
+	// incrementally so policy scans stay O(1) per node.
+	queuedNaiveS float64
+
+	busy       bool
+	cur        reqCopy
+	busyUntilS float64
+
+	stats NodeStats
+}
+
+// outstanding counts in-service plus queued copies.
+func (n *node) outstanding() int {
+	c := len(n.queue) - n.head
+	if n.busy {
+		c++
+	}
+	return c
+}
+
+// sim is the running simulation state.
+type sim struct {
+	cfg    Config
+	rate   float64
+	width  float64
+	drainW float64
+
+	nodes  []*node
+	events eventQueue
+	seq    uint64
+	rr     int
+	nowS   float64
+	// lastDoneS is the last service completion; it defines SimS so that
+	// trailing no-op hedge-check events cannot inflate the simulated span
+	// (and deflate throughput) under the Hedged policy.
+	lastDoneS float64
+
+	latencies []float64
+	m         Metrics
+}
+
+// Simulate runs the fleet under the configuration and returns its metrics.
+// The simulation is deterministic: the same Config always yields the same
+// Metrics. The context is checked periodically so very large traces can be
+// cancelled.
+func Simulate(ctx context.Context, cfg Config) (Metrics, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	s := &sim{
+		cfg:   cfg,
+		rate:  cfg.EffectiveRatePerS(),
+		width: float64(cfg.SprintWidth),
+		// While not sprinting the package sheds heat at the sustained
+		// budget; the sprint-aware estimator projects refill at this rate.
+		drainW:    cfg.Node.Design.SustainedPowerBudgetW(),
+		latencies: make([]float64, 0, cfg.Requests),
+	}
+	s.m.Policy = cfg.Policy
+	s.m.Requests = cfg.Requests
+	s.nodes = make([]*node, cfg.Nodes)
+	for i := range s.nodes {
+		s.nodes[i] = &node{id: i, gov: governor.New(cfg.Node)}
+	}
+
+	// Open-loop arrival trace: the session burst generator at the fleet's
+	// aggregate rate (mean gap = 1/rate).
+	bursts := session.GenerateBursts(cfg.Requests, 1/s.rate, cfg.MeanWorkS, cfg.Seed)
+	reqs := make([]request, len(bursts))
+	for i, b := range bursts {
+		reqs[i] = request{id: i, arrivalS: b.ArrivalS, workS: b.WorkS, doneS: -1, firstNode: -1}
+		s.push(&event{atS: b.ArrivalS, kind: evArrival, req: &reqs[i]})
+	}
+
+	for steps := 0; len(s.events) > 0; steps++ {
+		if steps&1023 == 1023 {
+			if err := ctx.Err(); err != nil {
+				return Metrics{}, err
+			}
+		}
+		ev := s.pop()
+		s.nowS = ev.atS
+		switch ev.kind {
+		case evArrival:
+			s.dispatch(ev.req)
+		case evHedge:
+			s.hedge(ev.req)
+		case evComplete:
+			s.complete(s.nodes[ev.node])
+		}
+	}
+	return s.finish(), nil
+}
+
+// dispatch routes a fresh arrival to the policy-chosen node.
+func (s *sim) dispatch(req *request) {
+	n := s.selectNode(req, -1)
+	if n == nil || n.outstanding() >= s.cfg.QueueCap {
+		req.dropped = true
+		s.m.Dropped++
+		if n != nil {
+			n.stats.Dropped++
+		}
+		return
+	}
+	req.firstNode = n.id
+	s.enqueue(n, reqCopy{req: req})
+	if s.cfg.Policy == Hedged {
+		s.push(&event{atS: s.nowS + s.cfg.HedgeDelayS, kind: evHedge, req: req})
+	}
+}
+
+// hedge duplicates a still-unfinished request to a second node.
+func (s *sim) hedge(req *request) {
+	if req.doneS >= 0 || req.dropped {
+		return
+	}
+	n := s.selectNode(req, req.firstNode)
+	if n == nil || n.outstanding() >= s.cfg.QueueCap {
+		return // no spare capacity: the original copy stands alone
+	}
+	s.m.HedgesIssued++
+	s.enqueue(n, reqCopy{req: req, hedge: true})
+}
+
+// enqueue places a copy on the node, starting service if it is idle.
+func (s *sim) enqueue(n *node, c reqCopy) {
+	if !n.busy {
+		s.startService(n, c)
+		return
+	}
+	n.queue = append(n.queue, c)
+	n.queuedNaiveS += c.req.workS / s.width
+}
+
+// startService begins serving a copy now: the governor idles over the gap
+// since its last activity, then the governed slicing determines service
+// time and energy.
+func (s *sim) startService(n *node, c reqCopy) {
+	if gap := s.nowS - n.gov.Now(); gap > 0 {
+		n.gov.Idle(gap)
+	}
+	serviceS, energyJ, full := s.serve(n, c.req.workS)
+	n.busy, n.cur = true, c
+	n.busyUntilS = s.nowS + serviceS
+	n.stats.Served++
+	if !full {
+		n.stats.Denials++
+	}
+	n.stats.EnergyJ += energyJ
+	n.stats.BusyS += serviceS
+	s.push(&event{atS: n.busyUntilS, kind: evComplete, node: n.id, req: c.req})
+}
+
+// serve runs the governed service discipline (the session evaluator's
+// policy at fleet scale): full sprint width while the budget lasts, then
+// the sustained rate. It reports service time, service energy, and whether
+// the whole request ran at full width.
+func (s *sim) serve(n *node, workS float64) (serviceS, energyJ float64, full bool) {
+	sprintW := s.cfg.Node.SprintPowerW
+	nominalW := s.cfg.Node.NominalPowerW
+	remaining := workS
+	full = true
+	for remaining > 1e-12 {
+		maxFullS := n.gov.MaxSprintS(sprintW)
+		switch {
+		case maxFullS*s.width >= remaining:
+			dt := remaining / s.width
+			n.gov.RecordSprint(sprintW, dt)
+			serviceS += dt
+			energyJ += sprintW * dt
+			remaining = 0
+		case maxFullS > 1e-9:
+			n.gov.RecordSprint(sprintW, maxFullS)
+			serviceS += maxFullS
+			energyJ += sprintW * maxFullS
+			remaining -= maxFullS * s.width
+			full = false
+		default:
+			dt := remaining
+			n.gov.Idle(dt)
+			serviceS += dt
+			energyJ += nominalW * dt
+			remaining = 0
+			full = false
+		}
+	}
+	return serviceS, energyJ, full
+}
+
+// complete finishes the node's in-service copy and starts the next live
+// queued copy, lazily cancelling copies whose request already finished
+// elsewhere.
+func (s *sim) complete(n *node) {
+	c := n.cur
+	n.busy = false
+	s.lastDoneS = s.nowS
+	if c.req.doneS < 0 {
+		c.req.doneS = s.nowS
+		s.latencies = append(s.latencies, s.nowS-c.req.arrivalS)
+		s.m.Completed++
+		if c.hedge {
+			s.m.HedgeWins++
+		}
+	}
+	for n.head < len(n.queue) {
+		next := n.queue[n.head]
+		n.queue[n.head] = reqCopy{}
+		n.head++
+		n.queuedNaiveS -= next.req.workS / s.width
+		if next.req.doneS >= 0 {
+			s.m.CancelledCopies++
+			continue
+		}
+		s.startService(n, next)
+		break
+	}
+	if n.head == len(n.queue) {
+		n.queue = n.queue[:0]
+		n.head = 0
+		n.queuedNaiveS = 0
+	}
+}
+
+// load is the node's outstanding work in seconds: in-service remainder
+// plus queued work at full sprint width.
+func (s *sim) load(n *node) float64 {
+	l := n.queuedNaiveS
+	if n.busy && n.busyUntilS > s.nowS {
+		l += n.busyUntilS - s.nowS
+	}
+	return l
+}
+
+// estFinishS estimates when a request of the given work would finish on
+// the node: drain the present queue at full width, project the thermal
+// budget's refill to that start, then apply the governed service model.
+// It is an estimator, not the simulator (queued services will also spend
+// budget), but it is exactly the "most usable thermal headroom" signal
+// sprint-aware dispatch routes on.
+func (s *sim) estFinishS(n *node, workS float64) float64 {
+	startS := s.nowS + s.load(n)
+	remJ := n.gov.RemainingJ()
+	if dt := startS - n.gov.Now(); dt > 0 {
+		remJ = math.Min(n.gov.CapacityJ(), remJ+s.drainW*dt)
+	}
+	net := s.cfg.Node.SprintPowerW - s.drainW
+	var svc float64
+	if net <= 0 {
+		svc = workS / s.width
+	} else {
+		fullS := remJ / net
+		if workS/s.width <= fullS {
+			svc = workS / s.width
+		} else {
+			svc = fullS + (workS - fullS*s.width)
+		}
+	}
+	return startS + svc
+}
+
+// selectNode picks the destination node for a request copy under the
+// configured policy. exclude (≥ 0) removes a node from consideration
+// (hedging never duplicates onto the original node). It returns nil when
+// no eligible node has queue space (round-robin instead returns its next
+// node regardless, modelling a state-blind dispatcher).
+func (s *sim) selectNode(req *request, exclude int) *node {
+	switch s.cfg.Policy {
+	case RoundRobin:
+		n := s.nodes[s.rr%len(s.nodes)]
+		s.rr++
+		return n
+	case LeastLoaded, Hedged:
+		return s.scanBest(exclude, s.load)
+	case SprintAware:
+		return s.scanBest(exclude, func(n *node) float64 {
+			return s.estFinishS(n, req.workS)
+		})
+	default:
+		return nil
+	}
+}
+
+// scanBest returns the eligible node minimizing score. The scan starts at
+// a rotating index so score ties break round-robin instead of herding onto
+// the lowest node id (with an all-idle fleet every node scores equal, and
+// a fixed tie-break would pile consecutive arrivals onto node 0, burning
+// its thermal budget while the rest of the fleet stays cold). The rotation
+// counter is part of simulation state, so selection stays deterministic.
+func (s *sim) scanBest(exclude int, score func(*node) float64) *node {
+	start := s.rr
+	s.rr++
+	var best *node
+	var bestScore float64
+	for i := range s.nodes {
+		n := s.nodes[(start+i)%len(s.nodes)]
+		if n.id == exclude || n.outstanding() >= s.cfg.QueueCap {
+			continue
+		}
+		if sc := score(n); best == nil || sc < bestScore {
+			best, bestScore = n, sc
+		}
+	}
+	return best
+}
+
+// finish assembles the metrics.
+func (s *sim) finish() Metrics {
+	m := s.m
+	m.SimS = s.lastDoneS
+	sort.Float64s(s.latencies)
+	if n := len(s.latencies); n > 0 {
+		sum := 0.0
+		for _, l := range s.latencies {
+			sum += l
+		}
+		m.MeanS = sum / float64(n)
+		pct := func(q float64) float64 { return s.latencies[int(float64(n-1)*q)] }
+		m.P50S, m.P95S, m.P99S, m.P999S = pct(0.50), pct(0.95), pct(0.99), pct(0.999)
+		m.MaxS = s.latencies[n-1]
+	}
+	if m.SimS > 0 {
+		m.ThroughputRPS = float64(m.Completed) / m.SimS
+	}
+	served, denials := 0, 0
+	m.Nodes = make([]NodeStats, len(s.nodes))
+	for i, n := range s.nodes {
+		n.stats.ID = n.id
+		m.Nodes[i] = n.stats
+		served += n.stats.Served
+		denials += n.stats.Denials
+		m.TotalEnergyJ += n.stats.EnergyJ
+		if n.stats.EnergyJ > m.MaxNodeEnergyJ {
+			m.MaxNodeEnergyJ = n.stats.EnergyJ
+		}
+	}
+	if served > 0 {
+		m.SprintDenialRate = float64(denials) / float64(served)
+	}
+	if len(s.nodes) > 0 {
+		m.MeanNodeEnergyJ = m.TotalEnergyJ / float64(len(s.nodes))
+	}
+	if m.Completed > 0 {
+		m.EnergyPerRequestJ = m.TotalEnergyJ / float64(m.Completed)
+	}
+	return m
+}

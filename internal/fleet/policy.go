@@ -1,0 +1,57 @@
+package fleet
+
+import "fmt"
+
+// Policy selects how arriving requests are dispatched across the fleet.
+type Policy int
+
+// Dispatch policies.
+const (
+	// RoundRobin cycles through nodes in index order, blind to node state —
+	// the classic baseline.
+	RoundRobin Policy = iota
+	// LeastLoaded routes to the node with the least outstanding work:
+	// the in-service remainder plus queued work at full sprint width.
+	LeastLoaded
+	// SprintAware routes to the node whose thermal headroom finishes the
+	// request soonest: the queue-drain estimate plus a governor-projected
+	// service time, so a request prefers a node that can still serve it at
+	// full sprint width over one whose budget is depleted.
+	SprintAware
+	// Hedged is LeastLoaded plus competitive redundancy: a request still
+	// unfinished HedgeDelayS after arrival is duplicated to a second node
+	// and the first reply wins, trading duplicated energy for tail latency
+	// (competitive-parallel scheduling).
+	Hedged
+)
+
+// Policies returns every dispatch policy in declaration order.
+func Policies() []Policy {
+	return []Policy{RoundRobin, LeastLoaded, SprintAware, Hedged}
+}
+
+// String names the policy; ParsePolicy accepts these names.
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastLoaded:
+		return "least-loaded"
+	case SprintAware:
+		return "sprint-aware"
+	case Hedged:
+		return "hedged"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a policy name to its Policy.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("fleet: unknown policy %q (want round-robin|least-loaded|sprint-aware|hedged)", s)
+}

@@ -33,7 +33,10 @@ type Burst struct {
 
 // GenerateBursts produces a deterministic session trace: n bursts with
 // exponential inter-arrival gaps (mean meanGapS) and exponential work
-// (mean meanWorkS), clamped to a sensible interactive range.
+// (mean meanWorkS), clamped to a sensible range. The gap clamp scales with
+// the mean (meanGapS/8, capped at the interactive 0.1 s floor) so
+// fleet-scale arrival rates well beyond 10 bursts/s stay expressible while
+// interactive traces keep their historical floor.
 func GenerateBursts(n int, meanGapS, meanWorkS float64, seed int64) []Burst {
 	if n <= 0 {
 		return nil
@@ -41,9 +44,15 @@ func GenerateBursts(n int, meanGapS, meanWorkS float64, seed int64) []Burst {
 	rng := rand.New(rand.NewSource(seed))
 	bursts := make([]Burst, 0, n)
 	t := 0.0
+	minGapS := math.Min(0.1, meanGapS/8)
+	if minGapS <= 0 {
+		// Degenerate mean: keep the historical 0.1 s-spaced trace rather
+		// than collapsing every burst onto t = 0.
+		minGapS = 0.1
+	}
 	for i := 0; i < n; i++ {
 		if i > 0 {
-			t += clamp(rng.ExpFloat64()*meanGapS, 0.1, meanGapS*8)
+			t += clamp(rng.ExpFloat64()*meanGapS, minGapS, meanGapS*8)
 		}
 		w := clamp(rng.ExpFloat64()*meanWorkS, meanWorkS/8, meanWorkS*6)
 		bursts = append(bursts, Burst{ArrivalS: t, WorkS: w})

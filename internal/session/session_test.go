@@ -59,6 +59,37 @@ func TestGenerateProperties(t *testing.T) {
 	}
 }
 
+func TestGenerateBurstsExpressesFleetScaleRates(t *testing.T) {
+	// The historical 0.1 s gap floor hard-capped traces at 10 bursts/s no
+	// matter the requested mean; the clamp now scales with the mean so
+	// fleet-scale arrival rates are expressible.
+	const meanGapS = 0.01 // 100 bursts/s
+	bs := GenerateBursts(2000, meanGapS, 1, 42)
+	span := bs[len(bs)-1].ArrivalS - bs[0].ArrivalS
+	gotMean := span / float64(len(bs)-1)
+	if gotMean > 2*meanGapS {
+		t.Errorf("mean gap %.4f s for requested %.4f s: still clamped", gotMean, meanGapS)
+	}
+	if rate := 1 / gotMean; rate <= 10 {
+		t.Errorf("achieved %.1f bursts/s, want well above the old 10/s cap", rate)
+	}
+	// Interactive traces keep the historical floor: no gap below 0.1 s
+	// when the mean is well above it.
+	slow := GenerateBursts(500, 10, 1, 42)
+	for i := 1; i < len(slow); i++ {
+		if gap := slow[i].ArrivalS - slow[i-1].ArrivalS; gap < 0.1-1e-12 {
+			t.Fatalf("gap %.4f s below the 0.1 s interactive floor", gap)
+		}
+	}
+	// A degenerate (zero) mean must not collapse the trace onto t = 0.
+	deg := GenerateBursts(5, 0, 1, 42)
+	for i := 1; i < len(deg); i++ {
+		if gap := deg[i].ArrivalS - deg[i-1].ArrivalS; gap < 0.1-1e-12 {
+			t.Fatalf("degenerate mean: gap %.4f s, want the 0.1 s floor", gap)
+		}
+	}
+}
+
 func TestSprintBeatsSustainedOnSparseBursts(t *testing.T) {
 	cfg := DefaultConfig()
 	sus := Evaluate(sparse(), SustainedPolicy, cfg)

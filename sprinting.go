@@ -17,7 +17,15 @@
 // so regeneration is parallel by default. Point evaluations are
 // deterministic, so any worker count — including 1, which is exactly
 // serial — produces identical tables; see RunOptions.Workers and RunGrid
-// for batch simulation from client code.
+// for batch simulation from client code. Batch APIs also come in
+// ...Context variants that honor caller cancellation.
+//
+// Beyond the paper's single-chip evaluation, SimulateFleet scales the
+// ingredients to a datacenter: a deterministic discrete-event simulation
+// of N sprint-capable nodes — each owning a governor-managed thermal
+// budget and a bounded queue — serving open-loop traffic under
+// round-robin, least-loaded, sprint-aware, or hedged dispatch; see
+// cmd/fleetsim and the fleet_policy experiment.
 package sprinting
 
 import (
@@ -28,6 +36,7 @@ import (
 	"sprinting/internal/core"
 	"sprinting/internal/engine"
 	"sprinting/internal/experiments"
+	"sprinting/internal/fleet"
 	"sprinting/internal/governor"
 	"sprinting/internal/powergrid"
 	"sprinting/internal/powersource"
@@ -152,7 +161,14 @@ func SimulateActivation(rampS float64) (*ActivationResult, error) {
 // on a bounded worker pool (workers <= 0 selects GOMAXPROCS, 1 is exactly
 // serial), returning results in ramp order.
 func SimulateActivations(rampsS []float64, workers int) ([]*ActivationResult, error) {
-	return engine.Map(context.Background(), rampsS,
+	return SimulateActivationsContext(context.Background(), rampsS, workers)
+}
+
+// SimulateActivationsContext is SimulateActivations under a caller
+// context: cancellation stops new ramps from starting, and finished ramps
+// keep their results.
+func SimulateActivationsContext(ctx context.Context, rampsS []float64, workers int) ([]*ActivationResult, error) {
+	return engine.Map(ctx, rampsS,
 		func(_ context.Context, rampS float64) (*ActivationResult, error) {
 			return SimulateActivation(rampS)
 		}, engine.Options{Workers: workers})
@@ -162,7 +178,13 @@ func SimulateActivations(rampsS []float64, workers int) ([]*ActivationResult, er
 // power concurrently on a bounded worker pool, returning transients in
 // power order. The error reports any simulation panic the pool isolated.
 func SimulateSprintThermalsBatch(d ThermalDesign, powersW []float64, workers int) ([]SprintTransient, error) {
-	return engine.Map(context.Background(), powersW,
+	return SimulateSprintThermalsBatchContext(context.Background(), d, powersW, workers)
+}
+
+// SimulateSprintThermalsBatchContext is SimulateSprintThermalsBatch under
+// a caller context.
+func SimulateSprintThermalsBatchContext(ctx context.Context, d ThermalDesign, powersW []float64, workers int) ([]SprintTransient, error) {
+	return engine.Map(ctx, powersW,
 		func(_ context.Context, p float64) (SprintTransient, error) {
 			return SimulateSprintThermals(d, p), nil
 		}, engine.Options{Workers: workers})
@@ -173,7 +195,13 @@ func SimulateSprintThermalsBatch(d ThermalDesign, powersW []float64, workers int
 // in power order. The error reports any simulation panic the pool
 // isolated.
 func SimulateCooldownThermalsBatch(d ThermalDesign, powersW []float64, workers int) ([]CooldownTransient, error) {
-	return engine.Map(context.Background(), powersW,
+	return SimulateCooldownThermalsBatchContext(context.Background(), d, powersW, workers)
+}
+
+// SimulateCooldownThermalsBatchContext is SimulateCooldownThermalsBatch
+// under a caller context.
+func SimulateCooldownThermalsBatchContext(ctx context.Context, d ThermalDesign, powersW []float64, workers int) ([]CooldownTransient, error) {
+	return engine.Map(ctx, powersW,
 		func(_ context.Context, p float64) (CooldownTransient, error) {
 			return SimulateCooldownThermals(d, p), nil
 		}, engine.Options{Workers: workers})
@@ -236,9 +264,83 @@ func EvaluateSession(bursts []Burst, policy SessionPolicy) SessionMetrics {
 // 1 is exactly serial), returning metrics in policy order. The error
 // reports any evaluation panic the pool isolated.
 func EvaluateSessions(bursts []Burst, policies []SessionPolicy, workers int) ([]SessionMetrics, error) {
-	return engine.Map(context.Background(), policies,
+	return EvaluateSessionsContext(context.Background(), bursts, policies, workers)
+}
+
+// EvaluateSessionsContext is EvaluateSessions under a caller context.
+func EvaluateSessionsContext(ctx context.Context, bursts []Burst, policies []SessionPolicy, workers int) ([]SessionMetrics, error) {
+	return engine.Map(ctx, policies,
 		func(_ context.Context, p SessionPolicy) (SessionMetrics, error) {
 			return EvaluateSession(bursts, p), nil
+		}, engine.Options{Workers: workers})
+}
+
+// FleetPolicy selects how a simulated datacenter fleet dispatches
+// requests to its sprint-capable nodes.
+type FleetPolicy = fleet.Policy
+
+// Fleet dispatch policies.
+const (
+	// FleetRoundRobin cycles through nodes blind to node state.
+	FleetRoundRobin = fleet.RoundRobin
+	// FleetLeastLoaded routes to the node with the least outstanding work.
+	FleetLeastLoaded = fleet.LeastLoaded
+	// FleetSprintAware routes to the node whose thermal headroom finishes
+	// the request soonest.
+	FleetSprintAware = fleet.SprintAware
+	// FleetHedged duplicates laggard requests to a second node; the first
+	// reply wins (competitive-parallel scheduling).
+	FleetHedged = fleet.Hedged
+)
+
+// FleetPolicies returns every fleet dispatch policy.
+func FleetPolicies() []FleetPolicy { return fleet.Policies() }
+
+// ParseFleetPolicy maps a policy name (round-robin, least-loaded,
+// sprint-aware, hedged) to its FleetPolicy.
+func ParseFleetPolicy(s string) (FleetPolicy, error) { return fleet.ParsePolicy(s) }
+
+// FleetConfig parameterizes a fleet simulation: node count, dispatch
+// policy, open-loop arrival trace, per-node queue bound, and the governor
+// configuration every node manages its thermal budget with.
+type FleetConfig = fleet.Config
+
+// FleetMetrics is the outcome of a fleet simulation: throughput, latency
+// percentiles up to p999, sprint-denial rate, and per-node energy.
+type FleetMetrics = fleet.Metrics
+
+// DefaultFleetConfig returns a 16-node fleet of the paper's 16 W / 1 W
+// platforms under the given dispatch policy, offered ≈85% of sustained
+// capacity.
+func DefaultFleetConfig(p FleetPolicy) FleetConfig { return fleet.DefaultConfig(p) }
+
+// SimulateFleet runs the discrete-event fleet simulation: N sprint-capable
+// nodes — each owning a governor-managed thermal budget and a bounded FIFO
+// queue — serve an open-loop request stream under the configured dispatch
+// policy. The result is a pure function of the configuration.
+func SimulateFleet(cfg FleetConfig) (FleetMetrics, error) {
+	return SimulateFleetContext(context.Background(), cfg)
+}
+
+// SimulateFleetContext is SimulateFleet under a caller context; very large
+// traces can be cancelled mid-simulation.
+func SimulateFleetContext(ctx context.Context, cfg FleetConfig) (FleetMetrics, error) {
+	return fleet.Simulate(ctx, cfg)
+}
+
+// SimulateFleetSweep evaluates every fleet configuration concurrently on a
+// bounded worker pool (workers <= 0 selects GOMAXPROCS, 1 is exactly
+// serial), returning metrics in configuration order. Simulations are
+// deterministic, so every worker count produces identical metrics.
+func SimulateFleetSweep(cfgs []FleetConfig, workers int) ([]FleetMetrics, error) {
+	return SimulateFleetSweepContext(context.Background(), cfgs, workers)
+}
+
+// SimulateFleetSweepContext is SimulateFleetSweep under a caller context.
+func SimulateFleetSweepContext(ctx context.Context, cfgs []FleetConfig, workers int) ([]FleetMetrics, error) {
+	return engine.Map(ctx, cfgs,
+		func(ctx context.Context, cfg FleetConfig) (FleetMetrics, error) {
+			return fleet.Simulate(ctx, cfg)
 		}, engine.Options{Workers: workers})
 }
 
@@ -283,11 +385,18 @@ func RunExperimentCSV(w io.Writer, id string, scale float64) error {
 // RunExperimentWith regenerates one paper table/figure under the full set
 // of run options.
 func RunExperimentWith(w io.Writer, id string, opt RunOptions) error {
+	return RunExperimentWithContext(context.Background(), w, id, opt)
+}
+
+// RunExperimentWithContext is RunExperimentWith under a caller context:
+// cancellation stops the experiment's sweep from dispatching new points
+// and surfaces the context error.
+func RunExperimentWithContext(ctx context.Context, w io.Writer, id string, opt RunOptions) error {
 	d, err := experiments.ByID(id)
 	if err != nil {
 		return err
 	}
-	tables, err := d.Run(experiments.Options{Scale: opt.Scale, Workers: opt.Workers})
+	tables, err := d.Run(ctx, experiments.Options{Scale: opt.Scale, Workers: opt.Workers})
 	if err != nil {
 		return fmt.Errorf("sprinting: experiment %s: %w", id, err)
 	}
@@ -314,5 +423,11 @@ type GridPoint = engine.Point
 // results; a panicking or failing point is isolated and reported in the
 // joined error while the remaining points still complete.
 func RunGrid(points []GridPoint, workers int) ([]Result, error) {
-	return engine.RunGrid(context.Background(), points, engine.Options{Workers: workers})
+	return RunGridContext(context.Background(), points, workers)
+}
+
+// RunGridContext is RunGrid under a caller context: cancellation stops new
+// points from starting while finished points keep their results.
+func RunGridContext(ctx context.Context, points []GridPoint, workers int) ([]Result, error) {
+	return engine.RunGrid(ctx, points, engine.Options{Workers: workers})
 }

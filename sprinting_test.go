@@ -117,3 +117,42 @@ func TestPublicGovernor(t *testing.T) {
 		t.Error("after a sprint the budget needs time to refill")
 	}
 }
+
+func TestPublicFleet(t *testing.T) {
+	cfg := sprinting.DefaultFleetConfig(sprinting.FleetSprintAware)
+	cfg.Nodes = 4
+	cfg.Requests = 300
+	m, err := sprinting.SimulateFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != cfg.Requests || m.P99S <= 0 || m.TotalEnergyJ <= 0 {
+		t.Errorf("degenerate fleet metrics: %+v", m)
+	}
+}
+
+func TestPublicFleetSweepDeterministic(t *testing.T) {
+	var cfgs []sprinting.FleetConfig
+	for _, p := range sprinting.FleetPolicies() {
+		cfg := sprinting.DefaultFleetConfig(p)
+		cfg.Nodes = 8
+		cfg.Requests = 800
+		cfgs = append(cfgs, cfg)
+	}
+	serial, err := sprinting.SimulateFleetSweep(cfgs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := sprinting.SimulateFleetSweep(cfgs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i].P99S != wide[i].P99S || serial[i].TotalEnergyJ != wide[i].TotalEnergyJ {
+			t.Errorf("policy %s: workers=1 and workers=4 metrics differ", cfgs[i].Policy)
+		}
+	}
+	if _, err := sprinting.ParseFleetPolicy("sprint-aware"); err != nil {
+		t.Errorf("ParseFleetPolicy: %v", err)
+	}
+}
