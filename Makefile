@@ -1,10 +1,13 @@
 # Tier-1 verification is `make test`; `make bench` regenerates the whole
 # evaluation as benchmarks; `make fleet` runs the datacenter fleet
-# simulation side by side across dispatch policies.
+# simulation side by side across dispatch policies; `make rack` compares
+# the rack-level sprint-coordination policies on a tightly provisioned
+# shared circuit; `make benchsmoke` runs every benchmark exactly once
+# (the CI guard that keeps the fleet and rack subsystems exercised).
 
 GO ?= go
 
-.PHONY: all build test bench vet fleet
+.PHONY: all build test bench benchsmoke vet fleet rack
 
 all: build
 
@@ -20,5 +23,12 @@ test: vet
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
+benchsmoke:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
 fleet:
 	$(GO) run ./cmd/fleetsim -nodes 100 -requests 20000
+
+rack:
+	$(GO) run ./cmd/fleetsim -nodes 96 -requests 20000 -policy sprint-aware \
+		-coordination all -rack-size 16 -rack-budget-w 31 -rate 57.6

@@ -154,6 +154,34 @@ func BenchmarkFleetSweep(b *testing.B) {
 // tables (policies × loads × fleet sizes).
 func BenchmarkFleetPolicyExperiment(b *testing.B) { benchExperiment(b, "fleet_policy") }
 
+// BenchmarkRackSweep measures the rack power-domain machinery at
+// production scale: every coordination policy over a 96-node fleet in
+// racks of 16 (each rack provisioned for one concurrent sprinter) serving
+// a 20k-request overloaded trace, evaluated as one engine sweep.
+func BenchmarkRackSweep(b *testing.B) {
+	var cfgs []sprinting.FleetConfig
+	for _, c := range sprinting.RackCoordinations() {
+		cfg := sprinting.DefaultFleetConfig(sprinting.FleetSprintAware)
+		cfg.Nodes = 96
+		cfg.Requests = 20000
+		cfg.ArrivalRatePerS = 1.2 * float64(cfg.Nodes) / cfg.MeanWorkS
+		cfg.Coordination = c
+		cfg.RackSize = 16
+		cfg.RackPowerBudgetW = sprinting.RackBudgetW(16, 1, cfg.Node)
+		cfgs = append(cfgs, cfg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sprinting.SimulateFleetSweep(cfgs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRackCoordinationExperiment regenerates the rack_coordination
+// experiment tables (coordination × rack sizes × loads).
+func BenchmarkRackCoordinationExperiment(b *testing.B) { benchExperiment(b, "rack_coordination") }
+
 // BenchmarkSprintRunSobel16 measures one full co-simulated 16-core sprint
 // (machine + thermal + runtime) on the default sobel input.
 func BenchmarkSprintRunSobel16(b *testing.B) {

@@ -2,7 +2,10 @@
 // nodes — each owning a governor-managed thermal budget and a bounded FIFO
 // queue — serve an open-loop request stream under a dispatch policy, and
 // the simulator reports throughput, latency percentiles to p999, the
-// sprint-denial rate, and per-node energy.
+// sprint-denial rate, and per-node energy. With -coordination the nodes
+// are grouped into racks sharing a provisioned power budget backed by an
+// ultracap buffer, and the report adds breaker trips, throttled seconds,
+// and the permit-denial rate.
 //
 // Multi-policy sweeps run concurrently on the engine worker pool; every
 // simulation is deterministic, so -workers=1 produces byte-identical
@@ -14,6 +17,8 @@
 //	fleetsim -nodes 1000 -policy sprint-aware   # one policy at datacenter scale
 //	fleetsim -nodes 8 -rate 3.8 -requests 4000  # explicit load point
 //	fleetsim -policy hedged -hedge-s 0.5        # tune the hedging delay
+//	fleetsim -coordination all -rack-size 16    # rack coordination side by side
+//	fleetsim -coordination uncoordinated -rack-budget-w 31 -rate 9.6
 package main
 
 import (
@@ -50,6 +55,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		queue    = fs.Int("queue", 256, "per-node queue bound (in service + queued)")
 		hedgeS   = fs.Float64("hedge-s", 1, "hedged policy: duplicate a request unfinished after this many seconds (0 selects the default 1)")
 		workers  = fs.Int("workers", 0, "engine pool size (0 = GOMAXPROCS, 1 = serial)")
+
+		coordination = fs.String("coordination", "none", "rack coordination: none|uncoordinated|token-permit|probabilistic|all")
+		rackSize     = fs.Int("rack-size", 0, "nodes per rack power domain (0 = default 8; needs -coordination)")
+		rackBudgetW  = fs.Float64("rack-budget-w", 0, "provisioned power per rack in watts (0 = nominal for all nodes + sprint headroom for a quarter)")
+		rackBufferJ  = fs.Float64("rack-buffer-j", 0, "rack ultracap ride-through energy in joules (0 = one §6 ultracap bank per rack)")
+		permits      = fs.Int("permits", 0, "token-permit coordination: concurrent sprint permits per rack (0 = derive from the budget)")
+		recoveryS    = fs.Float64("recovery-s", 0, "breaker recovery window in seconds (0 = default 2)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -70,17 +82,38 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		policies = []sprinting.FleetPolicy{p}
 	}
 
-	cfgs := make([]sprinting.FleetConfig, len(policies))
-	for i, p := range policies {
-		cfg := sprinting.DefaultFleetConfig(p)
-		cfg.Nodes = *nodes
-		cfg.Requests = *requests
-		cfg.ArrivalRatePerS = *rate
-		cfg.MeanWorkS = *work
-		cfg.Seed = *seed
-		cfg.QueueCap = *queue
-		cfg.HedgeDelayS = *hedgeS
-		cfgs[i] = cfg
+	var coords []sprinting.RackCoordination
+	if *coordination == "all" {
+		coords = sprinting.RackCoordinations()
+	} else {
+		c, err := sprinting.ParseRackCoordination(*coordination)
+		if err != nil {
+			fmt.Fprintln(stderr, "fleetsim:", err)
+			return 2
+		}
+		coords = []sprinting.RackCoordination{c}
+	}
+	rackMode := len(coords) > 1 || coords[0] != sprinting.RackNoCoordination
+
+	var cfgs []sprinting.FleetConfig
+	for _, p := range policies {
+		for _, c := range coords {
+			cfg := sprinting.DefaultFleetConfig(p)
+			cfg.Nodes = *nodes
+			cfg.Requests = *requests
+			cfg.ArrivalRatePerS = *rate
+			cfg.MeanWorkS = *work
+			cfg.Seed = *seed
+			cfg.QueueCap = *queue
+			cfg.HedgeDelayS = *hedgeS
+			cfg.Coordination = c
+			cfg.RackSize = *rackSize
+			cfg.RackPowerBudgetW = *rackBudgetW
+			cfg.RackBufferJ = *rackBufferJ
+			cfg.SprintPermits = *permits
+			cfg.BreakerRecoveryS = *recoveryS
+			cfgs = append(cfgs, cfg)
+		}
 	}
 
 	fmt.Fprintf(stdout, "fleet: %d nodes, %d requests at %.2f req/s (mean work %.1f s, seed %d)\n\n",
@@ -89,6 +122,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "fleetsim:", err)
 		return 1
+	}
+
+	if rackMode {
+		fmt.Fprintf(stdout, "%-14s %-14s %11s %9s %9s %9s %7s %11s %10s %8s %9s\n",
+			"policy", "coordination", "thr (req/s)", "p50 (s)", "p99 (s)", "p999 (s)",
+			"trips", "rack-thr(s)", "permit-d %", "dropped", "J/req")
+		for _, m := range metrics {
+			fmt.Fprintf(stdout, "%-14s %-14s %11.3f %9.3f %9.3f %9.3f %7d %11.1f %10.2f %8d %9.2f\n",
+				m.Policy.String(), m.Coordination.String(), m.ThroughputRPS,
+				m.P50S, m.P99S, m.P999S, m.BreakerTrips, m.RackThrottledS,
+				100*m.PermitDenialRate, m.Dropped, m.EnergyPerRequestJ)
+		}
+		fmt.Fprintln(stdout, "\nuncoordinated sprints can trip the rack breaker; token permits make trips impossible by construction")
+		return 0
 	}
 
 	fmt.Fprintf(stdout, "%-14s %11s %9s %9s %9s %9s %9s %9s %8s %9s\n",

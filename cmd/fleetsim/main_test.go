@@ -81,3 +81,48 @@ func TestCancelledContext(t *testing.T) {
 		t.Errorf("cancelled run should exit 1, got %d", code)
 	}
 }
+
+// TestRackCoordinationSmoke drives the rack power-domain mode: the report
+// switches to the coordination columns and shows the headline contrast
+// (uncoordinated trips, token-permit never).
+func TestRackCoordinationSmoke(t *testing.T) {
+	out, code := runOut(t, "-nodes", "16", "-requests", "2000", "-policy", "sprint-aware",
+		"-coordination", "all", "-rack-size", "16", "-rack-budget-w", "31", "-rate", "9.6")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"uncoordinated", "token-permit", "probabilistic", "trips", "rack-thr(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRackWorkerCountDoesNotChangeOutput extends the binary-level
+// determinism guarantee to rack coordination: the probabilistic admission
+// stream is part of the per-simulation state, so serial and parallel
+// sweeps render byte-identical reports.
+func TestRackWorkerCountDoesNotChangeOutput(t *testing.T) {
+	args := []string{"-nodes", "32", "-requests", "2000", "-seed", "9",
+		"-coordination", "all", "-rack-size", "16", "-rack-budget-w", "31"}
+	serial, code := runOut(t, append(args, "-workers", "1")...)
+	if code != 0 {
+		t.Fatalf("serial exit %d", code)
+	}
+	wide, code := runOut(t, append(args, "-workers", "8")...)
+	if code != 0 {
+		t.Fatalf("wide exit %d", code)
+	}
+	if serial != wide {
+		t.Errorf("workers=1 and workers=8 differ:\n--- serial ---\n%s\n--- wide ---\n%s", serial, wide)
+	}
+}
+
+func TestBadRackFlagsFail(t *testing.T) {
+	if _, code := runOut(t, "-coordination", "nope"); code != 2 {
+		t.Errorf("bad coordination should exit 2, got %d", code)
+	}
+	if _, code := runOut(t, "-coordination", "uncoordinated", "-rack-size", "-2"); code != 1 {
+		t.Errorf("invalid rack config should exit 1, got %d", code)
+	}
+}

@@ -4,6 +4,12 @@
 // aware dispatch turns sprint headroom into tail latency, so it meets the
 // SLO with fewer nodes than a state-blind dispatcher — sprinting as a
 // capacity multiplier, not just a responsiveness trick.
+//
+// The second question is electrical: those nodes share a provisioned rack
+// circuit, so the planner also compares sprint-coordination policies on a
+// tightly provisioned rack — uncoordinated sprinting trips the branch
+// breaker under overload, token permits never do, and probabilistic
+// admission gambles the ultracap buffer in between.
 package main
 
 import (
@@ -66,4 +72,32 @@ func main() {
 			fmt.Printf("%-14s never meets the SLO in this range\n", p.String())
 		}
 	}
+
+	// Rack power domains: put 16 of those nodes on one branch circuit
+	// provisioned for a single concurrent sprinter and overload them — the
+	// regime where coordination policy decides whether the breaker trips.
+	const rackNodes = 16
+	fmt.Printf("\nrack check: %d nodes on one circuit, overloaded 20%% past sustained capacity\n\n", rackNodes)
+	fmt.Printf("%-14s %9s %7s %13s %12s\n", "coordination", "p99 (s)", "trips", "throttled (s)", "denied %")
+	var rackCfgs []sprinting.FleetConfig
+	for _, c := range sprinting.RackCoordinations() {
+		cfg := sprinting.DefaultFleetConfig(sprinting.FleetSprintAware)
+		cfg.Nodes = rackNodes
+		cfg.Requests = 4000
+		cfg.MeanWorkS = meanWorkS
+		cfg.ArrivalRatePerS = 1.2 * float64(rackNodes) / meanWorkS
+		cfg.Coordination = c
+		cfg.RackSize = rackNodes
+		cfg.RackPowerBudgetW = sprinting.RackBudgetW(rackNodes, 1, cfg.Node)
+		rackCfgs = append(rackCfgs, cfg)
+	}
+	rackMetrics, err := sprinting.SimulateFleetSweep(rackCfgs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range rackMetrics {
+		fmt.Printf("%-14s %9.3f %7d %13.1f %12.1f\n",
+			m.Coordination.String(), m.P99S, m.BreakerTrips, m.RackThrottledS, 100*m.PermitDenialRate)
+	}
+	fmt.Println("\nuncoordinated sprints trip the breaker and pay in tail latency; permits shift the budget in time instead")
 }

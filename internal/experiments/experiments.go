@@ -116,6 +116,7 @@ func Registry() []Driver {
 		{ID: "designspace", Title: "Design space: sprint width × PCM mass (extension)", Run: DesignSpace},
 		{ID: "session", Title: "Session study: bursty user activity under sprint policies (extension)", Run: Session},
 		{ID: "fleet_policy", Title: "Fleet study: dispatch policies × loads × fleet sizes of sprinting nodes (extension)", Run: FleetPolicy},
+		{ID: "rack_coordination", Title: "Rack study: shared-power sprint coordination × rack sizes × loads (extension)", Run: RackCoordination},
 	}
 }
 

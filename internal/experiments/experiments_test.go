@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -13,7 +14,8 @@ func quickOpt() Options { return Options{Scale: 0.12, Seed: 7} }
 
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	want := []string{"fig1", "table1", "fig2", "fig3", "fig4a", "fig4b", "fig5", "fig6",
-		"sec6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "designspace", "session", "fleet_policy"}
+		"sec6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "designspace", "session", "fleet_policy",
+		"rack_coordination"}
 	got := Registry()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d drivers, want %d", len(got), len(want))
@@ -41,7 +43,7 @@ func TestByID(t *testing.T) {
 // TestCheapDriversRun executes the drivers that do not need architectural
 // simulation at full fidelity.
 func TestCheapDriversRun(t *testing.T) {
-	for _, id := range []string{"fig1", "table1", "fig3", "fig4a", "fig4b", "fig5", "fig6", "sec6", "session", "fleet_policy"} {
+	for _, id := range []string{"fig1", "table1", "fig3", "fig4a", "fig4b", "fig5", "fig6", "sec6", "session", "fleet_policy", "rack_coordination"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			d, err := ByID(id)
@@ -137,5 +139,62 @@ func TestGridTracesExported(t *testing.T) {
 		if res.Supply.Len() == 0 {
 			t.Errorf("%s: empty supply trace", name)
 		}
+	}
+}
+
+// TestRackCoordinationHeadlineContrast pins the rack study's reason to
+// exist at full scale: in every overloaded (120% load) grid row the
+// uncoordinated rack trips its breaker while token-permit records exactly
+// zero trips and a lower p99 than the tripped rack.
+func TestRackCoordinationHeadlineContrast(t *testing.T) {
+	tables, err := RackCoordination(context.Background(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, tb := range tables {
+		var un, tok []string
+		for _, row := range tb.Rows {
+			if row[0] != "120%" {
+				continue
+			}
+			switch row[1] {
+			case "uncoordinated":
+				un = row
+			case "token-permit":
+				tok = row
+			}
+		}
+		if un == nil || tok == nil {
+			t.Fatalf("table %q is missing 120%% rows", tb.Title)
+		}
+		trips := func(row []string) int {
+			var n int
+			if _, err := fmt.Sscanf(row[5], "%d", &n); err != nil {
+				t.Fatalf("unparseable trips cell %q", row[5])
+			}
+			return n
+		}
+		p99 := func(row []string) float64 {
+			var v float64
+			if _, err := fmt.Sscanf(row[4], "%g", &v); err != nil {
+				t.Fatalf("unparseable p99 cell %q", row[4])
+			}
+			return v
+		}
+		if trips(un) == 0 {
+			t.Errorf("table %q: overloaded uncoordinated rack should trip, row %v", tb.Title, un)
+		}
+		if trips(tok) != 0 {
+			t.Errorf("table %q: token-permit must never trip, row %v", tb.Title, tok)
+		}
+		if p99(tok) >= p99(un) {
+			t.Errorf("table %q: token-permit p99 %.3f should beat tripped uncoordinated %.3f",
+				tb.Title, p99(tok), p99(un))
+		}
+		checked++
+	}
+	if checked != 2 {
+		t.Fatalf("expected the contrast in both rack-size tables, checked %d", checked)
 	}
 }

@@ -14,6 +14,16 @@ const (
 	// evComplete finishes a node's in-service copy and starts the next
 	// queued one.
 	evComplete
+	// evSprintEnd retires a service's sprint phase from its rack's power
+	// draw, releasing any TokenPermit grant (rack coordination only).
+	evSprintEnd
+	// evBreakerTrip fires when a rack's energy buffer is projected to run
+	// out under sustained overdraw; a stale generation (the draw balance
+	// changed since scheduling) is ignored.
+	evBreakerTrip
+	// evBreakerReset closes a tripped rack's breaker after the recovery
+	// window, re-enabling sprint admission.
+	evBreakerReset
 )
 
 // event is one entry of the simulation's future-event list.
@@ -27,6 +37,10 @@ type event struct {
 	kind eventKind
 	req  *request
 	node int
+	// rack and gen route the rack-coordination events: gen must match the
+	// rack's current trip generation for evBreakerTrip to fire.
+	rack int
+	gen  uint64
 }
 
 // eventQueue is a binary min-heap ordered by (atS, seq).

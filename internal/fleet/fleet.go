@@ -20,15 +20,31 @@
 // start-to-finish at full width counts as a sprint denial. Hedged dispatch
 // additionally duplicates laggard requests (competitive-parallel
 // scheduling), paying duplicated service energy for tail latency.
+//
+// Above the node, rack power domains model the shared provisioned circuit:
+// nodes are grouped into racks of RackSize drawing from one
+// RackPowerBudgetW branch circuit backed by a battery/ultracap energy
+// buffer (the §6 supply parts at rack scale), and a Coordination policy
+// arbitrates sprint admission — see rack.go. Rack decisions are made at
+// service-start granularity: an admitted sprint phase runs to completion
+// on the buffer energy it committed, so a breaker trip throttles every
+// service *starting* during the recovery window rather than preempting
+// flights mid-slice. That discretization keeps the event loop exact and
+// deterministic while preserving the dynamics that matter — an
+// uncoordinated rack trips under load and its queues pay for the recovery
+// window at 1/16th service rate, while token permits make trips impossible
+// by construction.
 package fleet
 
 import (
 	"context"
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 
 	"sprinting/internal/governor"
+	"sprinting/internal/series"
 	"sprinting/internal/session"
 )
 
@@ -59,6 +75,28 @@ type Config struct {
 	SprintWidth int
 	// Node configures every node's governor and thermal budget.
 	Node governor.Config
+
+	// Coordination selects the rack sprint-arbitration policy; the zero
+	// value NoCoordination disables rack power domains entirely and the
+	// remaining rack fields are ignored.
+	Coordination Coordination
+	// RackSize groups nodes into racks of this many members sharing one
+	// provisioned circuit (the last rack of an indivisible fleet is
+	// smaller but keeps the full provision); 0 selects 8.
+	RackSize int
+	// RackPowerBudgetW is the provisioned branch-circuit power per rack;
+	// 0 selects DefaultRackBudgetW (nominal for all members plus sprint
+	// headroom for a quarter of them).
+	RackPowerBudgetW float64
+	// RackBufferJ is the rack's battery/ultracap ride-through energy; 0
+	// selects DefaultRackBufferJ (one §6 ultracapacitor bank per rack).
+	RackBufferJ float64
+	// SprintPermits (TokenPermit only) caps concurrent sprints per rack;
+	// 0 derives the largest count the provisioned budget sustains.
+	SprintPermits int
+	// BreakerRecoveryS is how long a tripped rack stays forced to
+	// nominal before the breaker resets; 0 selects 2 s.
+	BreakerRecoveryS float64
 }
 
 // DefaultConfig returns a 16-node fleet of the paper's 16 W / 1 W phone
@@ -104,6 +142,23 @@ func (c Config) withDefaults() Config {
 	if c.Node.SprintPowerW == 0 {
 		c.Node = d.Node
 	}
+	if c.Coordination != NoCoordination {
+		if c.RackSize == 0 {
+			c.RackSize = 8
+		}
+		if c.RackPowerBudgetW == 0 {
+			c.RackPowerBudgetW = DefaultRackBudgetW(c.RackSize, c.Node)
+		}
+		if c.RackBufferJ == 0 {
+			c.RackBufferJ = DefaultRackBufferJ()
+		}
+		if c.SprintPermits == 0 {
+			c.SprintPermits = defaultSprintPermits(c.RackSize, c.RackPowerBudgetW, c.Node)
+		}
+		if c.BreakerRecoveryS == 0 {
+			c.BreakerRecoveryS = 2
+		}
+	}
 	return c
 }
 
@@ -138,6 +193,23 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fleet: hedged dispatch needs at least two nodes")
 	case c.Policy < RoundRobin || c.Policy > Hedged:
 		return fmt.Errorf("fleet: unknown policy %d", int(c.Policy))
+	case c.Coordination < NoCoordination || c.Coordination > Probabilistic:
+		return fmt.Errorf("fleet: unknown coordination %d", int(c.Coordination))
+	}
+	if c.Coordination != NoCoordination {
+		switch {
+		case c.RackSize <= 0:
+			return fmt.Errorf("fleet: rack size must be positive")
+		case c.RackPowerBudgetW < float64(c.RackSize)*c.Node.NominalPowerW:
+			return fmt.Errorf("fleet: rack budget %.1f W cannot cover %d nodes at %.1f W nominal (permanent deficit)",
+				c.RackPowerBudgetW, c.RackSize, c.Node.NominalPowerW)
+		case c.RackBufferJ < 0:
+			return fmt.Errorf("fleet: rack buffer energy must be non-negative")
+		case c.SprintPermits < 0:
+			return fmt.Errorf("fleet: sprint permits must be non-negative")
+		case c.BreakerRecoveryS <= 0:
+			return fmt.Errorf("fleet: breaker recovery window must be positive")
+		}
 	}
 	return c.Node.Validate()
 }
@@ -148,11 +220,18 @@ type NodeStats struct {
 	ID int
 	// Served counts service executions, including hedge copies.
 	Served int
-	// Denials counts services the governor could not run start-to-finish
-	// at full sprint width.
+	// Denials counts services that did not run start-to-finish at full
+	// sprint width — whether the node's governor ran out of thermal
+	// budget or the rack refused sprint admission (rack refusals are also
+	// broken out separately in Metrics.PermitDenials).
 	Denials int
-	// Dropped counts arrivals bounced off this node's full queue.
+	// Dropped counts arrivals bounced off this node's full queue. A
+	// fleet-wide drop (no node has queue space) is attributed to the node
+	// the policy would have routed to, so per-node drops always sum to
+	// Metrics.Dropped.
 	Dropped int
+	// Rack is the node's rack index (0 when coordination is disabled).
+	Rack int
 	// EnergyJ is the service energy the node drew (sprint slices at sprint
 	// power, degraded slices at nominal power).
 	EnergyJ float64
@@ -191,7 +270,10 @@ type Metrics struct {
 	MaxS  float64
 
 	// SprintDenialRate is the fraction of services that could not run
-	// start-to-finish at full sprint width.
+	// start-to-finish at full sprint width, for any reason: thermal
+	// budget exhaustion, or (with rack coordination enabled) a rack
+	// permit denial. Compare against PermitDenialRate to separate the
+	// electrical from the thermal cause.
 	SprintDenialRate float64
 
 	// Per-node energy summary and the full per-node breakdown.
@@ -200,6 +282,22 @@ type Metrics struct {
 	MaxNodeEnergyJ    float64
 	EnergyPerRequestJ float64
 	Nodes             []NodeStats
+
+	// Rack power-domain outcome (Coordination != NoCoordination only;
+	// otherwise Racks is nil and the counters stay zero).
+	Coordination Coordination
+	// BreakerTrips counts branch-breaker trips across racks;
+	// RackThrottledS the total rack-seconds spent in post-trip recovery
+	// with every member forced to nominal.
+	BreakerTrips   int
+	RackThrottledS float64
+	// PermitRequests counts services that asked their rack to sprint;
+	// PermitDenials those refused; PermitDenialRate their ratio.
+	PermitRequests   int
+	PermitDenials    int
+	PermitDenialRate float64
+	// Racks is the per-rack breakdown.
+	Racks []RackStats
 }
 
 // request is one open-loop arrival; doneS < 0 until its first completion.
@@ -221,8 +319,9 @@ type reqCopy struct {
 // node is one sprint-capable server: a governor-managed budget plus a
 // bounded single-server FIFO queue.
 type node struct {
-	id  int
-	gov *governor.Governor
+	id     int
+	rackID int
+	gov    *governor.Governor
 
 	queue []reqCopy
 	head  int
@@ -253,7 +352,12 @@ type sim struct {
 	width  float64
 	drainW float64
 
-	nodes  []*node
+	nodes []*node
+	// racks is nil when rack coordination is disabled; rackRng is the
+	// dedicated deterministic stream behind Probabilistic admission.
+	racks   []*rack
+	rackRng *rand.Rand
+
 	events eventQueue
 	seq    uint64
 	rr     int
@@ -287,9 +391,32 @@ func Simulate(ctx context.Context, cfg Config) (Metrics, error) {
 	}
 	s.m.Policy = cfg.Policy
 	s.m.Requests = cfg.Requests
+	s.m.Coordination = cfg.Coordination
 	s.nodes = make([]*node, cfg.Nodes)
 	for i := range s.nodes {
 		s.nodes[i] = &node{id: i, gov: governor.New(cfg.Node)}
+	}
+	if cfg.Coordination != NoCoordination {
+		nRacks := (cfg.Nodes + cfg.RackSize - 1) / cfg.RackSize
+		s.racks = make([]*rack, nRacks)
+		for i := range s.racks {
+			s.racks[i] = &rack{
+				id:         i,
+				budgetW:    cfg.RackPowerBudgetW,
+				extraW:     cfg.Node.SprintPowerW - cfg.Node.NominalPowerW,
+				nominalW:   cfg.Node.NominalPowerW,
+				bufferJ:    cfg.RackBufferJ,
+				bufferCapJ: cfg.RackBufferJ,
+			}
+		}
+		for _, n := range s.nodes {
+			n.rackID = n.id / cfg.RackSize
+			s.racks[n.rackID].size++
+		}
+		// A dedicated stream keeps Probabilistic admission independent of
+		// the arrival trace; the event loop is single-threaded and fully
+		// ordered, so draws replay identically at any worker count.
+		s.rackRng = rand.New(rand.NewSource(cfg.Seed ^ 0x5deece66d))
 	}
 
 	// Open-loop arrival trace: the session burst generator at the fleet's
@@ -316,6 +443,12 @@ func Simulate(ctx context.Context, cfg Config) (Metrics, error) {
 			s.hedge(ev.req)
 		case evComplete:
 			s.complete(s.nodes[ev.node])
+		case evSprintEnd:
+			s.sprintEnd(ev)
+		case evBreakerTrip:
+			s.breakerTrip(ev)
+		case evBreakerReset:
+			s.breakerReset(ev)
 		}
 	}
 	return s.finish(), nil
@@ -363,13 +496,25 @@ func (s *sim) enqueue(n *node, c reqCopy) {
 }
 
 // startService begins serving a copy now: the governor idles over the gap
-// since its last activity, then the governed slicing determines service
-// time and energy.
+// since its last activity, the node's rack (if any) rules on sprint
+// admission, then the governed slicing determines service time and energy.
+// A rack-denied service runs entirely on the sustained core.
 func (s *sim) startService(n *node, c reqCopy) {
 	if gap := s.nowS - n.gov.Now(); gap > 0 {
 		n.gov.Idle(gap)
 	}
-	serviceS, energyJ, full := s.serve(n, c.req.workS)
+	var serviceS, energyJ, sprintS float64
+	var full bool
+	if s.sprintAdmitted(n, c.req.workS) {
+		serviceS, energyJ, sprintS, full = s.serve(n, c.req.workS)
+	} else {
+		serviceS = c.req.workS
+		energyJ = s.cfg.Node.NominalPowerW * serviceS
+		n.gov.Idle(serviceS) // at nominal the thermal budget refills
+	}
+	if sprintS > 0 {
+		s.rackSprintStart(n, sprintS)
+	}
 	n.busy, n.cur = true, c
 	n.busyUntilS = s.nowS + serviceS
 	n.stats.Served++
@@ -383,9 +528,11 @@ func (s *sim) startService(n *node, c reqCopy) {
 
 // serve runs the governed service discipline (the session evaluator's
 // policy at fleet scale): full sprint width while the budget lasts, then
-// the sustained rate. It reports service time, service energy, and whether
-// the whole request ran at full width.
-func (s *sim) serve(n *node, workS float64) (serviceS, energyJ float64, full bool) {
+// the sustained rate. It reports service time, service energy, the sprint
+// phase's duration (always a contiguous prefix of the service — the
+// thermal budget only drains while serving, so once degraded a service
+// never sprints again), and whether the whole request ran at full width.
+func (s *sim) serve(n *node, workS float64) (serviceS, energyJ, sprintS float64, full bool) {
 	sprintW := s.cfg.Node.SprintPowerW
 	nominalW := s.cfg.Node.NominalPowerW
 	remaining := workS
@@ -398,11 +545,13 @@ func (s *sim) serve(n *node, workS float64) (serviceS, energyJ float64, full boo
 			n.gov.RecordSprint(sprintW, dt)
 			serviceS += dt
 			energyJ += sprintW * dt
+			sprintS += dt
 			remaining = 0
 		case maxFullS > 1e-9:
 			n.gov.RecordSprint(sprintW, maxFullS)
 			serviceS += maxFullS
 			energyJ += sprintW * maxFullS
+			sprintS += maxFullS
 			remaining -= maxFullS * s.width
 			full = false
 		default:
@@ -414,7 +563,7 @@ func (s *sim) serve(n *node, workS float64) (serviceS, energyJ float64, full boo
 			full = false
 		}
 	}
-	return serviceS, energyJ, full
+	return serviceS, energyJ, sprintS, full
 }
 
 // complete finishes the node's in-service copy and starts the next live
@@ -516,19 +665,35 @@ func (s *sim) selectNode(req *request, exclude int) *node {
 // a fixed tie-break would pile consecutive arrivals onto node 0, burning
 // its thermal budget while the rest of the fleet stays cold). The rotation
 // counter is part of simulation state, so selection stays deterministic.
+//
+// When every candidate's queue is full, scanBest returns the best-scoring
+// full node instead of nil: dispatch still refuses to enqueue (the
+// outstanding check), but the drop is attributed to the node the request
+// would have joined, keeping sum(NodeStats.Dropped) == Metrics.Dropped
+// under every policy.
 func (s *sim) scanBest(exclude int, score func(*node) float64) *node {
 	start := s.rr
 	s.rr++
-	var best *node
-	var bestScore float64
+	var best, bestFull *node
+	var bestScore, bestFullScore float64
 	for i := range s.nodes {
 		n := s.nodes[(start+i)%len(s.nodes)]
-		if n.id == exclude || n.outstanding() >= s.cfg.QueueCap {
+		if n.id == exclude {
 			continue
 		}
-		if sc := score(n); best == nil || sc < bestScore {
+		sc := score(n)
+		if n.outstanding() >= s.cfg.QueueCap {
+			if bestFull == nil || sc < bestFullScore {
+				bestFull, bestFullScore = n, sc
+			}
+			continue
+		}
+		if best == nil || sc < bestScore {
 			best, bestScore = n, sc
 		}
+	}
+	if best == nil {
+		return bestFull
 	}
 	return best
 }
@@ -544,8 +709,10 @@ func (s *sim) finish() Metrics {
 			sum += l
 		}
 		m.MeanS = sum / float64(n)
-		pct := func(q float64) float64 { return s.latencies[int(float64(n-1)*q)] }
-		m.P50S, m.P95S, m.P99S, m.P999S = pct(0.50), pct(0.95), pct(0.99), pct(0.999)
+		m.P50S = series.Quantile(s.latencies, 0.50)
+		m.P95S = series.Quantile(s.latencies, 0.95)
+		m.P99S = series.Quantile(s.latencies, 0.99)
+		m.P999S = series.Quantile(s.latencies, 0.999)
 		m.MaxS = s.latencies[n-1]
 	}
 	if m.SimS > 0 {
@@ -555,12 +722,34 @@ func (s *sim) finish() Metrics {
 	m.Nodes = make([]NodeStats, len(s.nodes))
 	for i, n := range s.nodes {
 		n.stats.ID = n.id
+		n.stats.Rack = n.rackID
 		m.Nodes[i] = n.stats
 		served += n.stats.Served
 		denials += n.stats.Denials
 		m.TotalEnergyJ += n.stats.EnergyJ
 		if n.stats.EnergyJ > m.MaxNodeEnergyJ {
 			m.MaxNodeEnergyJ = n.stats.EnergyJ
+		}
+	}
+	if s.racks != nil {
+		m.Racks = make([]RackStats, len(s.racks))
+		for i, r := range s.racks {
+			// The event list has drained, so every admitted sprint phase
+			// must have retired; a residue means a grant/end pairing bug
+			// (e.g. a TokenPermit release without its grant).
+			if r.sprinting != 0 || r.permits != 0 {
+				panic(fmt.Sprintf("fleet: rack %d finished with %d sprinting / %d permits outstanding",
+					r.id, r.sprinting, r.permits))
+			}
+			r.stats.ID = r.id
+			r.stats.Nodes = r.size
+			m.Racks[i] = r.stats
+		}
+		for _, n := range s.nodes {
+			m.Racks[n.rackID].EnergyJ += n.stats.EnergyJ
+		}
+		if m.PermitRequests > 0 {
+			m.PermitDenialRate = float64(m.PermitDenials) / float64(m.PermitRequests)
 		}
 	}
 	if served > 0 {

@@ -126,18 +126,19 @@ func (g *Governor) MaxIntensityW(durationS float64) float64 {
 }
 
 // RecordSprint charges an executed burst against the budget and advances
-// the clock. It reports the budget actually consumed.
+// the clock. It reports the net budget consumed; a burst below the drain
+// rate recovers budget (the package sheds more heat than the burst adds)
+// at the drain rate minus the burst power — slower than a pure Idle —
+// and the result is negative by the amount recovered.
 func (g *Governor) RecordSprint(powerW, durationS float64) float64 {
 	if powerW <= 0 || durationS <= 0 {
 		return 0
 	}
+	before := g.storedJ
 	net := (powerW - g.drainW) * durationS
-	if net < 0 {
-		net = 0
-	}
-	g.storedJ = math.Min(g.capacityJ, g.storedJ+net)
+	g.storedJ = math.Min(g.capacityJ, math.Max(0, g.storedJ+net))
 	g.nowS += durationS
-	return net
+	return g.storedJ - before
 }
 
 // Idle advances the clock with the system at or below nominal power,

@@ -199,3 +199,49 @@ func TestDegenerateInputs(t *testing.T) {
 		t.Error("degenerate demand needs no wait")
 	}
 }
+
+// TestSubDrainSprintRefills is the regression test for the asymmetric
+// accounting bug: a long "sprint" below the drain rate used to clamp its
+// negative net energy to 0 and never refill the budget, even though the
+// physically identical Idle call would. Recording a sub-drain burst must
+// recover budget exactly like idling for the same duration.
+func TestSubDrainSprintRefills(t *testing.T) {
+	cfg := DefaultConfig()
+	subW := 0.5 * cfg.Design.SustainedPowerBudgetW() // below the drain rate
+
+	recorded := New(cfg)
+	recorded.RecordSprint(16, 1.0) // deplete some budget
+	depleted := recorded.RemainingJ()
+	used := recorded.RecordSprint(subW, 4.0)
+	if recorded.RemainingJ() <= depleted {
+		t.Errorf("sub-drain sprint should refill the budget: %.3f J -> %.3f J",
+			depleted, recorded.RemainingJ())
+	}
+	if used >= 0 {
+		t.Errorf("sub-drain sprint should report recovered budget, got %.3f J", used)
+	}
+
+	idled := New(cfg)
+	idled.RecordSprint(16, 1.0)
+	idled.Idle(4.0)
+	// Idle drains at the full rate; the sub-drain sprint still adds subW of
+	// heat, so it recovers less — but both clocks and bounds must agree.
+	if recorded.Now() != idled.Now() {
+		t.Errorf("clocks diverged: %.3f vs %.3f", recorded.Now(), idled.Now())
+	}
+	if recorded.RemainingJ() > idled.RemainingJ() {
+		t.Errorf("a sub-drain burst cannot recover more than pure idle: %.3f J > %.3f J",
+			recorded.RemainingJ(), idled.RemainingJ())
+	}
+
+	// At exactly the drain rate the budget is flat in either direction.
+	flat := New(cfg)
+	flat.RecordSprint(16, 1.0)
+	before := flat.RemainingJ()
+	if used := flat.RecordSprint(cfg.Design.SustainedPowerBudgetW(), 3.0); used != 0 {
+		t.Errorf("at-drain burst should be budget-neutral, consumed %.3f J", used)
+	}
+	if flat.RemainingJ() != before {
+		t.Errorf("at-drain burst moved the budget: %.3f J -> %.3f J", before, flat.RemainingJ())
+	}
+}

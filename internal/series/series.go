@@ -215,6 +215,27 @@ func Geomean(vals []float64) float64 {
 	return math.Exp(sum / float64(len(vals)))
 }
 
+// Quantile returns the nearest-rank q-quantile (0 ≤ q ≤ 1) of an
+// ascending-sorted sample: the smallest value with at least ⌈q·n⌉ of the
+// samples at or below it, so Quantile(s, 0.95) of 5 samples is the 5th
+// value, not the 4th (the floor-of-(n-1)·q indexing this helper replaces
+// was biased low for small n). q = 0 returns the minimum, q = 1 the
+// maximum; the empty sample returns NaN.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	i := int(math.Ceil(q*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i > n-1 {
+		i = n - 1
+	}
+	return sorted[i]
+}
+
 // Mean returns the arithmetic mean; NaN for empty input.
 func Mean(vals []float64) float64 {
 	if len(vals) == 0 {

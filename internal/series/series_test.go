@@ -189,3 +189,49 @@ func TestValueAtProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestQuantileNearestRank pins the nearest-rank definition on the small-n
+// edge cases that exposed the old floor-biased indexing: the p95 of 5
+// samples is the 5th value, not the 4th.
+func TestQuantileNearestRank(t *testing.T) {
+	five := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{five, 0, 1},
+		{five, 0.50, 3},
+		{five, 0.95, 5}, // ⌈0.95·5⌉ = 5th value; floor((5-1)·0.95) picked the 4th
+		{five, 0.99, 5},
+		{five, 1, 5},
+		{[]float64{7}, 0.5, 7},
+		{[]float64{7}, 0.999, 7},
+		{[]float64{1, 2}, 0.5, 1},
+		{[]float64{1, 2}, 0.51, 2},
+		{[]float64{1, 2, 3, 4}, 0.25, 1},
+		{[]float64{1, 2, 3, 4}, 0.75, 3},
+	}
+	for _, c := range cases {
+		if got := Quantile(c.sorted, c.q); got != c.want {
+			t.Errorf("Quantile(%v, %g) = %g, want %g", c.sorted, c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty sample should return NaN")
+	}
+}
+
+// TestQuantileMonotone: for a fixed sorted sample the quantile is a
+// non-decreasing function of q, and always one of the samples.
+func TestQuantileMonotone(t *testing.T) {
+	sorted := []float64{0.1, 0.5, 0.9, 2.5, 3, 10, 11}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := Quantile(sorted, q)
+		if v < prev {
+			t.Fatalf("quantile decreased: q=%.2f gave %g after %g", q, v, prev)
+		}
+		prev = v
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"sprinting/internal/governor"
+	"sprinting/internal/series"
 )
 
 // Burst is one user-triggered computation demand.
@@ -173,7 +174,7 @@ func Evaluate(bursts []Burst, policy Policy, cfg Config) Metrics {
 			grantedS := math.Min(serviceS, gov.MaxSprintS(powerW))
 			gov.RecordSprint(powerW, serviceS)
 			if serviceS > grantedS {
-				m.ViolationJ += (serviceS - grantedS) * (powerW - 1)
+				m.ViolationJ += (serviceS - grantedS) * (powerW - cfg.Governor.NominalPowerW)
 			}
 			if grantedS >= serviceS {
 				fullCount++
@@ -224,7 +225,7 @@ func Evaluate(bursts []Burst, policy Policy, cfg Config) Metrics {
 		sum += r
 	}
 	m.MeanResponseS = sum / float64(len(responses))
-	m.P95ResponseS = responses[int(float64(len(responses)-1)*0.95)]
+	m.P95ResponseS = series.Quantile(responses, 0.95)
 	m.MaxResponseS = responses[len(responses)-1]
 	m.FullIntensityPct = 100 * float64(fullCount) / float64(len(bursts))
 	if policy == SustainedPolicy {

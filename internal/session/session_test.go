@@ -199,3 +199,37 @@ func TestPolicyNames(t *testing.T) {
 		}
 	}
 }
+
+// TestViolationEnergyUsesNominalPower is the regression test for the
+// hardcoded "(powerW - 1)" violation accounting: at a non-1 W nominal
+// configuration the energy executed above the budget is the excess over
+// *nominal* power, so doubling nominal from 2 W to 4 W at fixed sprint
+// power must shrink the per-second violation energy by exactly the
+// nominal difference.
+func TestViolationEnergyUsesNominalPower(t *testing.T) {
+	dense := []Burst{}
+	for i := 0; i < 6; i++ {
+		dense = append(dense, Burst{ArrivalS: float64(i) * 0.2, WorkS: 6})
+	}
+	at := func(nominalW float64) Metrics {
+		cfg := DefaultConfig()
+		cfg.Governor.NominalPowerW = nominalW
+		return Evaluate(dense, UnmanagedSprint, cfg)
+	}
+	lo, hi := at(2), at(4)
+	if lo.ViolationJ <= 0 || hi.ViolationJ <= 0 {
+		t.Fatalf("dense unmanaged sprinting must violate: %.3f J / %.3f J",
+			lo.ViolationJ, hi.ViolationJ)
+	}
+	// Nominal power does not change service times or the budget model
+	// (capacity and drain derive from the thermal design), so the
+	// violation duration is identical and the energies differ by the
+	// nominal delta per violating second.
+	cfg := DefaultConfig()
+	violS := lo.ViolationJ / (cfg.Governor.SprintPowerW - 2)
+	wantHi := violS * (cfg.Governor.SprintPowerW - 4)
+	if math.Abs(hi.ViolationJ-wantHi) > 1e-9 {
+		t.Errorf("violation at 4 W nominal = %.6f J, want %.6f J (excess over nominal, not over 1 W)",
+			hi.ViolationJ, wantHi)
+	}
+}

@@ -24,8 +24,11 @@
 // ingredients to a datacenter: a deterministic discrete-event simulation
 // of N sprint-capable nodes — each owning a governor-managed thermal
 // budget and a bounded queue — serving open-loop traffic under
-// round-robin, least-loaded, sprint-aware, or hedged dispatch; see
-// cmd/fleetsim and the fleet_policy experiment.
+// round-robin, least-loaded, sprint-aware, or hedged dispatch. Rack power
+// domains add the shared-circuit dimension: racks of nodes draw from one
+// provisioned budget backed by a §6 ultracapacitor buffer, arbitrated by
+// uncoordinated, token-permit, or probabilistic sprint coordination; see
+// cmd/fleetsim and the fleet_policy and rack_coordination experiments.
 package sprinting
 
 import (
@@ -300,13 +303,63 @@ func FleetPolicies() []FleetPolicy { return fleet.Policies() }
 // sprint-aware, hedged) to its FleetPolicy.
 func ParseFleetPolicy(s string) (FleetPolicy, error) { return fleet.ParsePolicy(s) }
 
+// RackCoordination selects how nodes in a rack arbitrate their shared
+// provisioned power budget before sprinting; the zero value
+// RackNoCoordination disables rack power domains entirely.
+type RackCoordination = fleet.Coordination
+
+// Rack coordination policies.
+const (
+	// RackNoCoordination disables rack power domains (every node sprints
+	// on its own thermal budget, as if its circuit were unlimited).
+	RackNoCoordination = fleet.NoCoordination
+	// RackUncoordinated lets every node sprint at will; concurrent
+	// sprints beyond the provisioned budget drain the rack's ultracap
+	// buffer and trip the branch breaker, forcing the whole rack to
+	// nominal for a recovery window.
+	RackUncoordinated = fleet.Uncoordinated
+	// RackTokenPermit grants at most SprintPermits concurrent sprints per
+	// rack — breaker trips are impossible by construction.
+	RackTokenPermit = fleet.TokenPermit
+	// RackProbabilistic admits each sprint with a headroom-proportional
+	// probability from the deterministic seeded stream.
+	RackProbabilistic = fleet.Probabilistic
+)
+
+// RackCoordinations returns the active coordination policies.
+func RackCoordinations() []RackCoordination { return fleet.Coordinations() }
+
+// ParseRackCoordination maps a coordination name (none, uncoordinated,
+// token-permit, probabilistic) to its RackCoordination.
+func ParseRackCoordination(s string) (RackCoordination, error) { return fleet.ParseCoordination(s) }
+
+// RackStats summarizes one rack power domain: breaker trips, throttled
+// recovery time, permit traffic, and member energy.
+type RackStats = fleet.RackStats
+
+// RackBudgetW provisions a branch circuit for rackSize nodes at nominal
+// draw plus full sprint headroom for `sprinters` concurrent sprints.
+func RackBudgetW(rackSize, sprinters int, node GovernorConfig) float64 {
+	return fleet.RackBudgetW(rackSize, sprinters, node)
+}
+
+// DefaultRackBudgetW provisions a rack's branch circuit: nominal draw for
+// every node plus full sprint headroom for a quarter of them.
+func DefaultRackBudgetW(rackSize int, node GovernorConfig) float64 {
+	return fleet.DefaultRackBudgetW(rackSize, node)
+}
+
 // FleetConfig parameterizes a fleet simulation: node count, dispatch
-// policy, open-loop arrival trace, per-node queue bound, and the governor
-// configuration every node manages its thermal budget with.
+// policy, open-loop arrival trace, per-node queue bound, the governor
+// configuration every node manages its thermal budget with, and the rack
+// power domains (RackSize nodes per provisioned circuit under a
+// RackCoordination policy).
 type FleetConfig = fleet.Config
 
 // FleetMetrics is the outcome of a fleet simulation: throughput, latency
-// percentiles up to p999, sprint-denial rate, and per-node energy.
+// percentiles up to p999 (nearest-rank), sprint-denial rate, per-node
+// energy, and — with rack coordination enabled — breaker trips, throttled
+// seconds, permit-denial rate, and per-rack energy.
 type FleetMetrics = fleet.Metrics
 
 // DefaultFleetConfig returns a 16-node fleet of the paper's 16 W / 1 W
