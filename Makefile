@@ -3,11 +3,14 @@
 # simulation side by side across dispatch policies; `make rack` compares
 # the rack-level sprint-coordination policies on a tightly provisioned
 # shared circuit; `make benchsmoke` runs every benchmark exactly once
-# (the CI guard that keeps the fleet and rack subsystems exercised).
+# (the CI guard that keeps the fleet and rack subsystems exercised);
+# `make bench-json` runs the fleet-scale benchmarks with -benchmem and
+# emits BENCH_fleet.json (ns/op, B/op, allocs/op) so CI can archive the
+# perf trajectory from every run.
 
 GO ?= go
 
-.PHONY: all build test bench benchsmoke vet fleet rack
+.PHONY: all build test bench benchsmoke bench-json vet fleet rack
 
 all: build
 
@@ -25,6 +28,12 @@ bench:
 
 benchsmoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetScale|BenchmarkFleetSweep|BenchmarkRackSweep' \
+		-benchmem -benchtime=1x . > BENCH_fleet.txt
+	cat BENCH_fleet.txt
+	$(GO) run ./cmd/benchjson < BENCH_fleet.txt > BENCH_fleet.json
 
 fleet:
 	$(GO) run ./cmd/fleetsim -nodes 100 -requests 20000

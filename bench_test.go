@@ -154,6 +154,28 @@ func BenchmarkFleetSweep(b *testing.B) {
 // tables (policies × loads × fleet sizes).
 func BenchmarkFleetPolicyExperiment(b *testing.B) { benchExperiment(b, "fleet_policy") }
 
+// BenchmarkFleetScale is the warehouse-scale regime the dispatch index,
+// value-based event heap, and streaming latency histogram exist for:
+// 10,000 sprint-aware nodes under rack token-permit coordination serving
+// one million requests. Run with -benchmem: steady state must not
+// allocate per request (the B/op and allocs/op columns are dominated by
+// the per-run arenas), and one op should stay in single-digit seconds
+// where the pre-index implementation took minutes of O(N) dispatch scans.
+func BenchmarkFleetScale(b *testing.B) {
+	cfg := sprinting.DefaultFleetConfig(sprinting.FleetSprintAware)
+	cfg.Nodes = 10000
+	cfg.Requests = 1_000_000
+	cfg.Coordination = sprinting.RackTokenPermit
+	cfg.RackSize = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sprinting.SimulateFleet(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRackSweep measures the rack power-domain machinery at
 // production scale: every coordination policy over a 96-node fleet in
 // racks of 16 (each rack provisioned for one concurrent sprinter) serving

@@ -1,0 +1,111 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON document on stdout, so CI can archive the fleet perf
+// trajectory (ns/op, B/op, allocs/op per benchmark) as a machine-readable
+// artifact from every run. `make bench-json` wires it up:
+//
+//	go test -run '^$' -bench 'BenchmarkFleet...' -benchmem . > BENCH_fleet.txt
+//	benchjson < BENCH_fleet.txt > BENCH_fleet.json
+//
+// Lines that are not benchmark results (headers, PASS/ok trailers) are
+// ignored; B/op and allocs/op are omitted from an entry when the run was
+// not benchmarked with -benchmem.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, normalized.
+type Result struct {
+	Name       string  `json:"name"`
+	Procs      int     `json:"procs,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp *int64  `json:"bytes_per_op,omitempty"`
+	AllocsOp   *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the whole document: environment header fields go test prints
+// plus every parsed benchmark line in input order.
+type Report struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkFleetScale-8   1  2860000000 ns/op  123456 B/op  450 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parse(r io.Reader) (Report, error) {
+	var rep Report
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		res := Result{Name: m[1]}
+		if m[2] != "" {
+			res.Procs, _ = strconv.Atoi(m[2])
+		}
+		res.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+		res.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		if m[5] != "" {
+			b, _ := strconv.ParseInt(m[5], 10, 64)
+			res.BytesPerOp = &b
+		}
+		if m[6] != "" {
+			a, _ := strconv.ParseInt(m[6], 10, 64)
+			res.AllocsOp = &a
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, sc.Err()
+}
+
+func run(in io.Reader, out, errw io.Writer) int {
+	rep, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(errw, "benchjson:", err)
+		return 1
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(errw, "benchjson: no benchmark results on stdin")
+		return 1
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(errw, "benchjson:", err)
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+}

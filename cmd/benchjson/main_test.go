@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: sprinting
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFleetScale-8   	       1	2860000000 ns/op	45678912 B/op	  123456 allocs/op
+BenchmarkFleetSweep 	       2	 139437430 ns/op	20596784 B/op	  181027 allocs/op
+BenchmarkThermalStep-8  	 1000000	      1042 ns/op
+PASS
+ok  	sprinting	4.2s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(strings.NewReader(sample), &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "sprinting" {
+		t.Errorf("header fields wrong: %+v", rep)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rep.Results))
+	}
+	scale := rep.Results[0]
+	if scale.Name != "BenchmarkFleetScale" || scale.Procs != 8 || scale.Iterations != 1 {
+		t.Errorf("first result wrong: %+v", scale)
+	}
+	if scale.NsPerOp != 2860000000 || scale.BytesPerOp == nil || *scale.BytesPerOp != 45678912 ||
+		scale.AllocsOp == nil || *scale.AllocsOp != 123456 {
+		t.Errorf("benchmem fields wrong: %+v", scale)
+	}
+	// A sub-benchmark-free line without -N suffix still parses.
+	if rep.Results[1].Name != "BenchmarkFleetSweep" || rep.Results[1].Procs != 0 {
+		t.Errorf("suffix-free result wrong: %+v", rep.Results[1])
+	}
+	// No -benchmem columns → fields omitted.
+	if rep.Results[2].BytesPerOp != nil || rep.Results[2].AllocsOp != nil {
+		t.Errorf("missing benchmem columns should be omitted: %+v", rep.Results[2])
+	}
+	if !strings.Contains(out.String(), `"allocs_per_op": 123456`) {
+		t.Errorf("JSON missing allocs_per_op:\n%s", out.String())
+	}
+}
+
+func TestNoResultsFails(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(strings.NewReader("PASS\nok x 1s\n"), &out, &errb); code != 1 {
+		t.Errorf("result-free input should exit 1, got %d", code)
+	}
+}

@@ -19,6 +19,14 @@
 //	fleetsim -policy hedged -hedge-s 0.5        # tune the hedging delay
 //	fleetsim -coordination all -rack-size 16    # rack coordination side by side
 //	fleetsim -coordination uncoordinated -rack-budget-w 31 -rate 9.6
+//	fleetsim -nodes 10000 -requests 1000000 -policy sprint-aware \
+//	    -coordination token-permit -rack-size 16 # warehouse scale, seconds
+//	fleetsim -nodes 10000 -requests 1000000 -cpuprofile fleet.pprof
+//
+// Traces above 131072 requests stream latencies through a log-scale
+// histogram (quantiles within 1.81%, mean/max exact) unless
+// -exact-quantiles buffers them; -cpuprofile and -memprofile capture
+// pprof profiles of the run for performance work.
 package main
 
 import (
@@ -29,6 +37,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"sprinting"
@@ -55,6 +65,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		queue    = fs.Int("queue", 256, "per-node queue bound (in service + queued)")
 		hedgeS   = fs.Float64("hedge-s", 1, "hedged policy: duplicate a request unfinished after this many seconds (0 selects the default 1)")
 		workers  = fs.Int("workers", 0, "engine pool size (0 = GOMAXPROCS, 1 = serial)")
+
+		exactQ     = fs.Bool("exact-quantiles", false, "buffer and sort every latency for exact quantiles at any scale (default: exact up to 131072 requests, streaming histogram above)")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile after the sweep to this file")
 
 		coordination = fs.String("coordination", "none", "rack coordination: none|uncoordinated|token-permit|probabilistic|all")
 		rackSize     = fs.Int("rack-size", 0, "nodes per rack power domain (0 = default 8; needs -coordination)")
@@ -106,6 +120,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			cfg.Seed = *seed
 			cfg.QueueCap = *queue
 			cfg.HedgeDelayS = *hedgeS
+			cfg.ExactQuantiles = *exactQ
 			cfg.Coordination = c
 			cfg.RackSize = *rackSize
 			cfg.RackPowerBudgetW = *rackBudgetW
@@ -116,12 +131,42 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "fleetsim:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "fleetsim:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	fmt.Fprintf(stdout, "fleet: %d nodes, %d requests at %.2f req/s (mean work %.1f s, seed %d)\n\n",
 		*nodes, *requests, cfgs[0].EffectiveRatePerS(), *work, *seed)
 	metrics, err := sprinting.SimulateFleetSweepContext(ctx, cfgs, *workers)
 	if err != nil {
 		fmt.Fprintln(stderr, "fleetsim:", err)
 		return 1
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "fleetsim:", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(stderr, "fleetsim:", err)
+			return 1
+		}
+	}
+	if len(metrics) > 0 && metrics[0].ApproxQuantiles {
+		fmt.Fprintln(stdout, "quantiles: streaming log-scale histogram (within 1.81%; mean/max exact) — use -exact-quantiles to buffer")
 	}
 
 	if rackMode {
@@ -145,9 +190,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "%-14s %11.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.2f %8d %9.2f\n",
 			m.Policy.String(), m.ThroughputRPS, m.P50S, m.P95S, m.P99S, m.P999S, m.MaxS,
 			100*m.SprintDenialRate, m.Dropped, m.EnergyPerRequestJ)
-		if m.HedgesIssued > 0 {
-			fmt.Fprintf(stdout, "%-14s %d hedges issued, %d won, %d copies cancelled, %.0f J total service energy\n",
-				"", m.HedgesIssued, m.HedgeWins, m.CancelledCopies, m.TotalEnergyJ)
+		if m.HedgesIssued > 0 || m.HedgesSuppressed > 0 {
+			fmt.Fprintf(stdout, "%-14s %d hedges issued, %d won, %d copies cancelled, %d suppressed (no spare capacity), %.0f J total service energy\n",
+				"", m.HedgesIssued, m.HedgeWins, m.CancelledCopies, m.HedgesSuppressed, m.TotalEnergyJ)
 		}
 	}
 	fmt.Fprintln(stdout, "\nsprint-aware dispatch routes on thermal headroom; hedging trades duplicated energy for tail latency")

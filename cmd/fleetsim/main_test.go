@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -124,5 +126,57 @@ func TestBadRackFlagsFail(t *testing.T) {
 	}
 	if _, code := runOut(t, "-coordination", "uncoordinated", "-rack-size", "-2"); code != 1 {
 		t.Errorf("invalid rack config should exit 1, got %d", code)
+	}
+}
+
+// TestHedgeSuppressionReported drives an overloaded hedged fleet and
+// checks the suppressed-hedge count reaches the report (the bugfix for
+// hedges that silently vanished when no node had spare capacity).
+func TestHedgeSuppressionReported(t *testing.T) {
+	out, code := runOut(t, "-nodes", "4", "-requests", "2000", "-policy", "hedged",
+		"-queue", "2", "-rate", "4")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "suppressed (no spare capacity)") {
+		t.Errorf("output missing the suppressed-hedge count:\n%s", out)
+	}
+}
+
+// TestProfileFlags exercises -cpuprofile/-memprofile: both files must be
+// created non-empty and the run must still succeed.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	_, code := runOut(t, "-nodes", "4", "-requests", "500", "-policy", "least-loaded",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestExactQuantilesFlag: the flag must parse and the sweep still run;
+// with a small trace both modes are exact so the output is unchanged.
+func TestExactQuantilesFlag(t *testing.T) {
+	base, code := runOut(t, "-nodes", "4", "-requests", "300", "-policy", "sprint-aware")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	exact, code := runOut(t, "-nodes", "4", "-requests", "300", "-policy", "sprint-aware", "-exact-quantiles")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if base != exact {
+		t.Errorf("small traces are exact either way; output differed:\n%s\n---\n%s", base, exact)
 	}
 }

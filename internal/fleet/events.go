@@ -1,16 +1,12 @@
 package fleet
 
-import "container/heap"
-
-// eventKind distinguishes the three event types of the simulation.
+// eventKind distinguishes the event types of the simulation.
 type eventKind uint8
 
 const (
-	// evArrival dispatches a request to a node chosen by the policy.
-	evArrival eventKind = iota
 	// evHedge re-examines a request HedgeDelayS after arrival and, if it is
 	// still unfinished, dispatches a duplicate copy to a second node.
-	evHedge
+	evHedge eventKind = iota
 	// evComplete finishes a node's in-service copy and starts the next
 	// queued one.
 	evComplete
@@ -26,52 +22,107 @@ const (
 	evBreakerReset
 )
 
-// event is one entry of the simulation's future-event list.
+// event is one entry of the simulation's future-event list. It is a plain
+// value — the future-event list is a value-based heap, so scheduling an
+// event never allocates — and it refers to its request by arena index
+// rather than pointer, keeping the hot structures free of GC-scanned
+// references.
+//
+// Arrivals are not events: the open-loop trace is generated time-sorted,
+// so the main loop merges a simple arrival cursor with this heap. On an
+// exact timestamp tie the arrival fires first, which reproduces the
+// historical ordering in which every arrival carried a smaller tie-break
+// sequence than any dynamically scheduled event.
 type event struct {
 	// atS is the simulated firing time.
 	atS float64
 	// seq is the push order, the total tie-break: two events at the same
 	// instant fire in the order they were scheduled, so the event loop is a
 	// deterministic function of the configuration alone.
-	seq  uint64
+	seq uint64
+	// gen must match the rack's current trip generation for evBreakerTrip
+	// to fire.
+	gen uint64
+	// req indexes sim.reqs (evHedge); node and rack index their arrays.
+	req  int32
+	node int32
+	rack int32
 	kind eventKind
-	req  *request
-	node int
-	// rack and gen route the rack-coordination events: gen must match the
-	// rack's current trip generation for evBreakerTrip to fire.
-	rack int
-	gen  uint64
 }
 
-// eventQueue is a binary min-heap ordered by (atS, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].atS != q[j].atS {
-		return q[i].atS < q[j].atS
+// eventBefore orders events by (atS, seq).
+func eventBefore(a, b event) bool {
+	if a.atS != b.atS {
+		return a.atS < b.atS
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
+
+// eventQueue is a value-based 4-ary min-heap ordered by (atS, seq). A
+// 4-ary layout halves the tree depth of a binary heap, trading a few more
+// comparisons per level for fewer cache-missing hops — the right trade for
+// the sift-downs that dominate a discrete-event loop. No interface boxing,
+// no per-event allocation: push and pop move 40-byte values inside one
+// backing array that is reused for the whole run.
+type eventQueue struct {
+	a []event
+}
+
+func (q *eventQueue) len() int { return len(q.a) }
+
+// top returns the earliest event without removing it; the caller must
+// ensure the queue is non-empty.
+func (q *eventQueue) top() event { return q.a[0] }
+
+// push schedules an event, sifting it up from the tail.
+func (q *eventQueue) push(ev event) {
+	q.a = append(q.a, ev)
+	i := len(q.a) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventBefore(q.a[i], q.a[p]) {
+			break
+		}
+		q.a[i], q.a[p] = q.a[p], q.a[i]
+		i = p
+	}
+}
+
+// pop removes and returns the earliest event.
+func (q *eventQueue) pop() event {
+	ev := q.a[0]
+	n := len(q.a) - 1
+	q.a[0] = q.a[n]
+	q.a = q.a[:n]
+	// Sift down: promote the smallest of up to four children each level.
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for j := c + 1; j < hi; j++ {
+			if eventBefore(q.a[j], q.a[best]) {
+				best = j
+			}
+		}
+		if !eventBefore(q.a[best], q.a[i]) {
+			break
+		}
+		q.a[i], q.a[best] = q.a[best], q.a[i]
+		i = best
+	}
 	return ev
 }
 
 // push schedules an event, stamping the deterministic tie-break sequence.
-func (s *sim) push(ev *event) {
+func (s *sim) push(ev event) {
 	ev.seq = s.seq
 	s.seq++
-	heap.Push(&s.events, ev)
-}
-
-// pop removes the earliest event.
-func (s *sim) pop() *event {
-	return heap.Pop(&s.events).(*event)
+	s.events.push(ev)
 }

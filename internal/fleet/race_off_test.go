@@ -1,0 +1,8 @@
+//go:build !race
+
+package fleet
+
+// raceEnabled reports whether the race detector instruments this build;
+// the allocation-budget test skips under it (instrumentation perturbs
+// allocation counts).
+const raceEnabled = false

@@ -207,7 +207,7 @@ func (s *sim) scheduleTrip(r *rack) {
 	if deficitW <= 0 {
 		return
 	}
-	s.push(&event{atS: s.nowS + r.bufferJ/deficitW, kind: evBreakerTrip, rack: r.id, gen: r.tripGen})
+	s.push(event{atS: s.nowS + r.bufferJ/deficitW, kind: evBreakerTrip, rack: int32(r.id), gen: r.tripGen})
 }
 
 // sprintAdmitted asks the node's rack whether the service about to start
@@ -228,7 +228,7 @@ func (s *sim) sprintAdmitted(n *node, workS float64) bool {
 		// nominal on its own, so this is not a rack sprint request.
 		return true
 	}
-	r := s.racks[n.rackID]
+	r := &s.racks[n.rackID]
 	r.accrue(s.nowS)
 	r.stats.SprintRequests++
 	s.m.PermitRequests++
@@ -265,16 +265,16 @@ func (s *sim) rackSprintStart(n *node, sprintS float64) {
 	if s.racks == nil {
 		return
 	}
-	r := s.racks[n.rackID]
+	r := &s.racks[n.rackID]
 	r.accrue(s.nowS)
 	r.sprinting++
-	s.push(&event{atS: s.nowS + sprintS, kind: evSprintEnd, rack: r.id})
+	s.push(event{atS: s.nowS + sprintS, kind: evSprintEnd, rack: int32(r.id)})
 	s.scheduleTrip(r)
 }
 
 // sprintEnd retires one member's sprint phase from the rack draw.
-func (s *sim) sprintEnd(ev *event) {
-	r := s.racks[ev.rack]
+func (s *sim) sprintEnd(ev event) {
+	r := &s.racks[ev.rack]
 	r.accrue(s.nowS)
 	r.sprinting--
 	if s.cfg.Coordination == TokenPermit {
@@ -287,8 +287,8 @@ func (s *sim) sprintEnd(ev *event) {
 // new service in the rack is forced to nominal until the reset, and
 // sprints already in flight finish on the energy they committed (the
 // trip's service-start granularity; see the package comment in fleet.go).
-func (s *sim) breakerTrip(ev *event) {
-	r := s.racks[ev.rack]
+func (s *sim) breakerTrip(ev event) {
+	r := &s.racks[ev.rack]
 	if ev.gen != r.tripGen || r.tripped {
 		return // the draw balance changed since this trip was projected
 	}
@@ -297,14 +297,14 @@ func (s *sim) breakerTrip(ev *event) {
 	r.bufferJ = 0
 	r.stats.Trips++
 	s.m.BreakerTrips++
-	s.push(&event{atS: s.nowS + s.cfg.BreakerRecoveryS, kind: evBreakerReset, rack: r.id})
+	s.push(event{atS: s.nowS + s.cfg.BreakerRecoveryS, kind: evBreakerReset, rack: int32(r.id)})
 }
 
 // breakerReset closes the breaker after the recovery window: the rack
 // resumes sprint admission with an empty buffer that recharges from
 // circuit surplus.
-func (s *sim) breakerReset(ev *event) {
-	r := s.racks[ev.rack]
+func (s *sim) breakerReset(ev event) {
+	r := &s.racks[ev.rack]
 	r.accrue(s.nowS)
 	r.tripped = false
 	r.stats.ThrottledS += s.cfg.BreakerRecoveryS

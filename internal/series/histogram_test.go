@@ -1,0 +1,112 @@
+package series
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 {
+		t.Fatalf("empty count = %d", h.Count())
+	}
+	for _, v := range []float64{h.Mean(), h.Min(), h.Max(), h.Quantile(0.5)} {
+		if !math.IsNaN(v) {
+			t.Errorf("empty histogram statistic = %g, want NaN", v)
+		}
+	}
+}
+
+func TestHistogramExactMoments(t *testing.T) {
+	h := NewHistogram()
+	vals := []float64{0.25, 3.5, 0.001, 42, 0.25}
+	sum := 0.0
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	if h.Count() != len(vals) {
+		t.Errorf("count = %d, want %d", h.Count(), len(vals))
+	}
+	if h.Sum() != sum {
+		t.Errorf("sum = %g, want %g", h.Sum(), sum)
+	}
+	if h.Mean() != sum/float64(len(vals)) {
+		t.Errorf("mean = %g, want %g", h.Mean(), sum/float64(len(vals)))
+	}
+	if h.Min() != 0.001 || h.Max() != 42 {
+		t.Errorf("min/max = %g/%g, want 0.001/42", h.Min(), h.Max())
+	}
+}
+
+// TestHistogramQuantileWithinOneBin is the accuracy contract: against the
+// exact nearest-rank quantile of the same sample, the histogram answer is
+// within one log-scale bin width (a factor of 10^(1/128)) and inside
+// [Min, Max].
+func TestHistogramQuantileWithinOneBin(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	var sample []float64
+	for i := 0; i < 50000; i++ {
+		v := rng.ExpFloat64() * 0.3 // latency-shaped sample
+		h.Observe(v)
+		sample = append(sample, v)
+	}
+	sort.Float64s(sample)
+	binFactor := math.Pow(10, 1.0/128)
+	for _, q := range []float64{0, 0.01, 0.5, 0.95, 0.99, 0.999, 1} {
+		exact := Quantile(sample, q)
+		got := h.Quantile(q)
+		if got < h.Min() || got > h.Max() {
+			t.Errorf("q=%g: %g outside [%g, %g]", q, got, h.Min(), h.Max())
+		}
+		if got < exact/binFactor || got > exact*binFactor {
+			t.Errorf("q=%g: histogram %.6g vs exact %.6g exceeds one bin width", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := NewHistogram()
+	for i := 0; i < 10000; i++ {
+		h.Observe(rng.Float64()*100 + 1e-4)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone: q=%.2f gives %g after %g", q, v, prev)
+		}
+		prev = v
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Errorf("q=1 should be the exact max: %g vs %g", h.Quantile(1), h.Max())
+	}
+}
+
+// TestHistogramClampsOutOfRange: observations outside the binned range
+// land in the edge bins but keep Min/Max exact.
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1e-12)
+	h.Observe(1e9)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 1e-12 || h.Max() != 1e9 {
+		t.Errorf("min/max = %g/%g, want exact 1e-12/1e9", h.Min(), h.Max())
+	}
+	if lo := h.Quantile(0.25); lo < h.Min() || lo > h.Max() {
+		t.Errorf("low quantile %g escaped [min, max]", lo)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000)*1e-3 + 1e-4)
+	}
+}

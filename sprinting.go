@@ -354,10 +354,18 @@ func DefaultRackBudgetW(rackSize int, node GovernorConfig) float64 {
 // configuration every node manages its thermal budget with, and the rack
 // power domains (RackSize nodes per provisioned circuit under a
 // RackCoordination policy).
+//
+// Traces up to 131072 requests report exact nearest-rank latency
+// quantiles; larger traces stream latencies through a fixed-bin
+// log-scale histogram (quantiles within 1.81%, mean and max still
+// exact) so warehouse-scale runs stay allocation-free — set
+// ExactQuantiles to opt back into exact buffering at any scale.
+// FleetMetrics.ApproxQuantiles reports which mode ran.
 type FleetConfig = fleet.Config
 
 // FleetMetrics is the outcome of a fleet simulation: throughput, latency
-// percentiles up to p999 (nearest-rank), sprint-denial rate, per-node
+// percentiles up to p999 (nearest-rank, or within one histogram bin when
+// ApproxQuantiles is set — see FleetConfig), sprint-denial rate, per-node
 // energy, and — with rack coordination enabled — breaker trips, throttled
 // seconds, permit-denial rate, and per-rack energy.
 type FleetMetrics = fleet.Metrics
@@ -371,6 +379,11 @@ func DefaultFleetConfig(p FleetPolicy) FleetConfig { return fleet.DefaultConfig(
 // nodes — each owning a governor-managed thermal budget and a bounded FIFO
 // queue — serve an open-loop request stream under the configured dispatch
 // policy. The result is a pure function of the configuration.
+//
+// The simulator is built for warehouse scale: dispatch is O(log N) per
+// arrival over an incrementally maintained index, the event loop does
+// not allocate per request, and a 10,000-node fleet serves a million
+// requests in single-digit seconds (see BenchmarkFleetScale).
 func SimulateFleet(cfg FleetConfig) (FleetMetrics, error) {
 	return SimulateFleetContext(context.Background(), cfg)
 }
