@@ -2,15 +2,27 @@
 # evaluation as benchmarks; `make fleet` runs the datacenter fleet
 # simulation side by side across dispatch policies; `make rack` compares
 # the rack-level sprint-coordination policies on a tightly provisioned
-# shared circuit; `make benchsmoke` runs every benchmark exactly once
-# (the CI guard that keeps the fleet and rack subsystems exercised);
-# `make bench-json` runs the fleet-scale benchmarks with -benchmem and
-# emits BENCH_fleet.json (ns/op, B/op, allocs/op) so CI can archive the
-# perf trajectory from every run.
+# shared circuit; `make scenario` plays the flash-crowd scenario across
+# every policy; `make benchsmoke` runs every benchmark exactly once
+# (the CI guard that keeps the fleet and rack subsystems exercised,
+# bounded by -timeout so a hung scale bench fails loudly instead of
+# stalling the job); `make bench-json` runs the fleet-scale benchmarks
+# with -benchmem and emits BENCH_fleet.json (ns/op, B/op, allocs/op) so
+# CI can archive the perf trajectory from every run; `make bench-gate`
+# compares that report against the committed BENCH_baseline.json and
+# fails on regressions past the tolerance; `make bench-baseline`
+# refreshes the baseline after an intentional perf change.
 
 GO ?= go
 
-.PHONY: all build test bench benchsmoke bench-json vet fleet rack
+# The CI gate tolerance is deliberately loose (1.5 = fail past 2.5×):
+# the baseline is measured on a different machine than the runner and
+# benchtime=1x is noisy, but the gate still catches the order-of-
+# magnitude regressions (an O(N) scan sneaking back into dispatch) that
+# used to merge green. Tighten locally with TOLERANCE=0.25.
+TOLERANCE ?= 1.5
+
+.PHONY: all build test bench benchsmoke bench-json bench-gate bench-baseline vet fleet rack scenario
 
 all: build
 
@@ -27,13 +39,19 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 benchsmoke:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench=. -benchtime=1x -timeout 10m -run=^$$ .
 
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkFleetScale|BenchmarkFleetSweep|BenchmarkRackSweep' \
-		-benchmem -benchtime=1x . > BENCH_fleet.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetScale|BenchmarkFleetSweep|BenchmarkRackSweep|BenchmarkFleetScenario' \
+		-benchmem -benchtime=1x -timeout 10m . > BENCH_fleet.txt
 	cat BENCH_fleet.txt
 	$(GO) run ./cmd/benchjson < BENCH_fleet.txt > BENCH_fleet.json
+
+bench-gate: bench-json
+	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json BENCH_fleet.json -tolerance $(TOLERANCE)
+
+bench-baseline: bench-json
+	cp BENCH_fleet.json BENCH_baseline.json
 
 fleet:
 	$(GO) run ./cmd/fleetsim -nodes 100 -requests 20000
@@ -41,3 +59,6 @@ fleet:
 rack:
 	$(GO) run ./cmd/fleetsim -nodes 96 -requests 20000 -policy sprint-aware \
 		-coordination all -rack-size 16 -rack-budget-w 31 -rate 57.6
+
+scenario:
+	$(GO) run ./cmd/fleetsim -scenario examples/scenarios/flashcrowd.json -policy all

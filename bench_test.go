@@ -204,6 +204,31 @@ func BenchmarkRackSweep(b *testing.B) {
 // experiment tables (coordination × rack sizes × loads).
 func BenchmarkRackCoordinationExperiment(b *testing.B) { benchExperiment(b, "rack_coordination") }
 
+// BenchmarkFleetScenario measures the dynamic-fleet machinery at scale:
+// a 1000-node fleet playing a flash-crowd scenario with ambient swings
+// and failure churn — phase retargeting, churn failover, and per-phase
+// accounting all on the hot path beside ordinary dispatch.
+func BenchmarkFleetScenario(b *testing.B) {
+	cfg := sprinting.DefaultFleetConfig(sprinting.FleetSprintAware)
+	cfg.Nodes = 1000
+	sc := sprinting.FleetScenario{
+		BaseRatePerS: 0.9 * 1000 / 2,
+		Phases: []sprinting.ScenarioPhase{
+			{Name: "baseline", DurationS: 60, StartFactor: 0.7},
+			{Name: "surge", DurationS: 40, StartFactor: 1.4, AmbientDeltaC: 10},
+			{Name: "recovery", DurationS: 60, Shape: sprinting.ScenarioDecay, StartFactor: 1.4, EndFactor: 0.5},
+		},
+		Churn: sprinting.ScenarioChurn{MTBFS: 2, MeanDowntimeS: 5},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sprinting.SimulateScenario(sprinting.ScenarioConfig{Fleet: cfg, Scenario: sc}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSprintRunSobel16 measures one full co-simulated 16-core sprint
 // (machine + thermal + runtime) on the default sobel input.
 func BenchmarkSprintRunSobel16(b *testing.B) {

@@ -9,11 +9,22 @@
 // Lines that are not benchmark results (headers, PASS/ok trailers) are
 // ignored; B/op and allocs/op are omitted from an entry when the run was
 // not benchmarked with -benchmem.
+//
+// With -compare the command becomes the CI perf-regression gate:
+//
+//	benchjson -compare BENCH_baseline.json BENCH_fleet.json -tolerance 0.25
+//
+// exits non-zero when any baseline benchmark's ns/op regressed past the
+// tolerance (new > old × (1 + tolerance)) or disappeared from the new
+// report; benchmarks only present in the new report are noted and pass.
+// Improvements never fail the gate — the baseline is a ceiling, not a
+// pin.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -87,7 +98,122 @@ func parse(r io.Reader) (Report, error) {
 	return rep, sc.Err()
 }
 
-func run(in io.Reader, out, errw io.Writer) int {
+// loadReport reads a benchjson JSON document from disk.
+func loadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compare gates the new report against the baseline: any baseline
+// benchmark whose ns/op grew past the tolerance, or that vanished from
+// the new report, is a regression. It writes one verdict line per
+// benchmark and returns the number of regressions.
+func compare(old, new Report, tolerance float64, out io.Writer) int {
+	newByName := map[string]Result{}
+	for _, r := range new.Results {
+		newByName[r.Name] = r
+	}
+	regressions := 0
+	seen := map[string]bool{}
+	for _, o := range old.Results {
+		seen[o.Name] = true
+		n, ok := newByName[o.Name]
+		if !ok {
+			fmt.Fprintf(out, "MISSING  %-40s baseline %.0f ns/op, absent from the new report\n", o.Name, o.NsPerOp)
+			regressions++
+			continue
+		}
+		ratio := n.NsPerOp / o.NsPerOp
+		switch {
+		case n.NsPerOp > o.NsPerOp*(1+tolerance):
+			fmt.Fprintf(out, "REGRESS  %-40s %.0f -> %.0f ns/op (%.2fx, tolerance %.2fx)\n",
+				o.Name, o.NsPerOp, n.NsPerOp, ratio, 1+tolerance)
+			regressions++
+		default:
+			fmt.Fprintf(out, "ok       %-40s %.0f -> %.0f ns/op (%.2fx)\n", o.Name, o.NsPerOp, n.NsPerOp, ratio)
+		}
+	}
+	for _, n := range new.Results {
+		if !seen[n.Name] {
+			fmt.Fprintf(out, "new      %-40s %.0f ns/op (no baseline; add it on the next refresh)\n", n.Name, n.NsPerOp)
+		}
+	}
+	return regressions
+}
+
+// splitArgs separates flag tokens from positional arguments so the
+// documented invocation order (`-compare old.json new.json -tolerance
+// 0.25`) parses even though the flag package stops at the first
+// positional argument.
+func splitArgs(args []string) (flags, pos []string) {
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-tolerance" || a == "--tolerance":
+			flags = append(flags, a)
+			if i+1 < len(args) {
+				i++
+				flags = append(flags, args[i])
+			}
+		case strings.HasPrefix(a, "-"):
+			flags = append(flags, a)
+		default:
+			pos = append(pos, a)
+		}
+	}
+	return flags, pos
+}
+
+func run(args []string, in io.Reader, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	doCompare := fs.Bool("compare", false, "compare two benchjson reports: -compare old.json new.json [-tolerance 0.25]")
+	tolerance := fs.Float64("tolerance", 0.25, "allowed fractional ns/op growth before -compare fails (0.25 = 25%)")
+	flagArgs, pos := splitArgs(args)
+	if err := fs.Parse(flagArgs); err != nil {
+		return 2
+	}
+	if *doCompare {
+		if len(pos) != 2 {
+			fmt.Fprintln(errw, "benchjson: -compare needs exactly two reports: old.json new.json")
+			return 2
+		}
+		if *tolerance < 0 {
+			fmt.Fprintln(errw, "benchjson: tolerance must be non-negative")
+			return 2
+		}
+		old, err := loadReport(pos[0])
+		if err != nil {
+			fmt.Fprintln(errw, "benchjson:", err)
+			return 1
+		}
+		if len(old.Results) == 0 {
+			fmt.Fprintf(errw, "benchjson: baseline %s has no results\n", pos[0])
+			return 1
+		}
+		newRep, err := loadReport(pos[1])
+		if err != nil {
+			fmt.Fprintln(errw, "benchjson:", err)
+			return 1
+		}
+		if n := compare(old, newRep, *tolerance, out); n > 0 {
+			fmt.Fprintf(errw, "benchjson: %d benchmark(s) regressed past %.0f%% — refresh BENCH_baseline.json only for intentional changes\n",
+				n, *tolerance*100)
+			return 1
+		}
+		return 0
+	}
+	if len(pos) != 0 {
+		fmt.Fprintf(errw, "benchjson: unexpected arguments %v (conversion mode reads stdin)\n", pos)
+		return 2
+	}
 	rep, err := parse(in)
 	if err != nil {
 		fmt.Fprintln(errw, "benchjson:", err)
@@ -107,5 +233,5 @@ func run(in io.Reader, out, errw io.Writer) int {
 }
 
 func main() {
-	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -20,7 +22,7 @@ ok  	sprinting	4.2s
 
 func TestParseBenchOutput(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run(strings.NewReader(sample), &out, &errb); code != 0 {
+	if code := run(nil, strings.NewReader(sample), &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	var rep Report
@@ -56,7 +58,124 @@ func TestParseBenchOutput(t *testing.T) {
 
 func TestNoResultsFails(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run(strings.NewReader("PASS\nok x 1s\n"), &out, &errb); code != 1 {
+	if code := run(nil, strings.NewReader("PASS\nok x 1s\n"), &out, &errb); code != 1 {
 		t.Errorf("result-free input should exit 1, got %d", code)
+	}
+}
+
+// writeReport marshals a Report to a temp file for comparator tests.
+func writeReport(t *testing.T, rep Report) string {
+	t.Helper()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func result(name string, ns float64) Result {
+	return Result{Name: name, Iterations: 1, NsPerOp: ns}
+}
+
+// runCompare drives the gate and returns (stdout, stderr, exit code).
+func runCompare(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(""), &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+// TestCompareFailsOnRegression is the gate's reason to exist: a 2×
+// ns/op regression against a 25% tolerance must exit non-zero and name
+// the offender.
+func TestCompareFailsOnRegression(t *testing.T) {
+	old := writeReport(t, Report{Results: []Result{
+		result("BenchmarkFleetScale", 1e9),
+		result("BenchmarkFleetSweep", 2e8),
+	}})
+	new := writeReport(t, Report{Results: []Result{
+		result("BenchmarkFleetScale", 2e9), // 2× slower
+		result("BenchmarkFleetSweep", 2.1e8),
+	}})
+	out, errs, code := runCompare(t, "-compare", old, new, "-tolerance", "0.25")
+	if code != 1 {
+		t.Fatalf("2x regression should exit 1, got %d\n%s%s", code, out, errs)
+	}
+	if !strings.Contains(out, "REGRESS") || !strings.Contains(out, "BenchmarkFleetScale") {
+		t.Errorf("verdict should name the regressed benchmark:\n%s", out)
+	}
+	if !strings.Contains(out, "ok       BenchmarkFleetSweep") {
+		t.Errorf("the within-tolerance benchmark should pass:\n%s", out)
+	}
+}
+
+// TestComparePassesAtParity: identical reports — and improvements — are
+// clean exits; the baseline is a ceiling, not a pin.
+func TestComparePassesAtParity(t *testing.T) {
+	rep := Report{Results: []Result{result("BenchmarkFleetScale", 1e9)}}
+	old := writeReport(t, rep)
+	same := writeReport(t, rep)
+	if out, errs, code := runCompare(t, "-compare", old, same, "-tolerance", "0.25"); code != 0 {
+		t.Fatalf("parity should exit 0, got %d\n%s%s", code, out, errs)
+	}
+	faster := writeReport(t, Report{Results: []Result{result("BenchmarkFleetScale", 4e8)}})
+	if out, errs, code := runCompare(t, "-compare", old, faster, "-tolerance", "0.25"); code != 0 {
+		t.Fatalf("an improvement should exit 0, got %d\n%s%s", code, out, errs)
+	}
+	// Exactly at the tolerance boundary still passes (gate fires strictly
+	// past it).
+	edge := writeReport(t, Report{Results: []Result{result("BenchmarkFleetScale", 1.25e9)}})
+	if out, errs, code := runCompare(t, "-compare", old, edge, "-tolerance", "0.25"); code != 0 {
+		t.Fatalf("at-tolerance should exit 0, got %d\n%s%s", code, out, errs)
+	}
+}
+
+// TestCompareMissingAndAddedBenchmarks: a benchmark that vanished from
+// the new report fails the gate (silent coverage loss); a brand-new
+// benchmark is noted and passes until the baseline is refreshed.
+func TestCompareMissingAndAddedBenchmarks(t *testing.T) {
+	old := writeReport(t, Report{Results: []Result{
+		result("BenchmarkFleetScale", 1e9),
+		result("BenchmarkRackSweep", 5e8),
+	}})
+	new := writeReport(t, Report{Results: []Result{
+		result("BenchmarkFleetScale", 1e9),
+		result("BenchmarkFleetScenario", 3e8), // added
+	}})
+	out, _, code := runCompare(t, "-compare", old, new, "-tolerance", "0.25")
+	if code != 1 {
+		t.Fatalf("a missing baseline benchmark should exit 1, got %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "MISSING") || !strings.Contains(out, "BenchmarkRackSweep") {
+		t.Errorf("verdict should flag the vanished benchmark:\n%s", out)
+	}
+	if !strings.Contains(out, "new      BenchmarkFleetScenario") {
+		t.Errorf("added benchmarks should be noted:\n%s", out)
+	}
+}
+
+// TestCompareUsageErrors: wrong arity, bad files, and empty baselines
+// are loud failures, not silent passes.
+func TestCompareUsageErrors(t *testing.T) {
+	good := writeReport(t, Report{Results: []Result{result("B", 1)}})
+	if _, _, code := runCompare(t, "-compare", good); code != 2 {
+		t.Errorf("one report should exit 2, got %d", code)
+	}
+	if _, _, code := runCompare(t, "-compare", good, good, "-tolerance", "-1"); code != 2 {
+		t.Errorf("negative tolerance should exit 2, got %d", code)
+	}
+	if _, _, code := runCompare(t, "-compare", filepath.Join(t.TempDir(), "nope.json"), good); code != 1 {
+		t.Errorf("missing baseline file should exit 1, got %d", code)
+	}
+	empty := writeReport(t, Report{})
+	if _, _, code := runCompare(t, "-compare", empty, good); code != 1 {
+		t.Errorf("empty baseline should exit 1, got %d", code)
+	}
+	if _, _, code := runCompare(t, "stray-positional"); code != 2 {
+		t.Errorf("positional args without -compare should exit 2, got %d", code)
 	}
 }

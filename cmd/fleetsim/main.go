@@ -27,10 +27,35 @@
 // histogram (quantiles within 1.81%, mean/max exact) unless
 // -exact-quantiles buffers them; -cpuprofile and -memprofile capture
 // pprof profiles of the run for performance work.
+//
+// With -scenario file.json the run goes dynamic: the JSON file declares
+// load phases (flat, ramp, sine, decay, with per-phase ambient shifts),
+// optional heterogeneous node classes, and node failure/recovery churn,
+// and the report breaks every policy × coordination combination down per
+// phase. The scenario file owns the load, so -requests and -rate are
+// rejected alongside it:
+//
+//	fleetsim -scenario flashcrowd.json -policy all
+//	fleetsim -scenario flashcrowd.json -coordination token-permit -workers 1
+//
+// A minimal scenario file:
+//
+//	{
+//	  "base_rate_per_s": 7.2,
+//	  "phases": [
+//	    {"name": "baseline", "duration_s": 60, "start_factor": 0.7},
+//	    {"name": "surge", "duration_s": 40, "start_factor": 2.0},
+//	    {"name": "recovery", "duration_s": 60, "shape": "decay",
+//	     "start_factor": 2.0, "end_factor": 0.5}
+//	  ],
+//	  "churn": {"mtbf_s": 20, "mean_downtime_s": 5}
+//	}
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -43,6 +68,55 @@ import (
 
 	"sprinting"
 )
+
+// runScenario drives the dynamic-scenario mode: every policy ×
+// coordination combination plays the same scenario, and the report breaks
+// each run down per phase (counts attributed to the phase a request
+// arrived in) before the overall line.
+func runScenario(ctx context.Context, path string, scen sprinting.FleetScenario, scs []sprinting.ScenarioConfig, workers int, stdout, stderr io.Writer) int {
+	totalS := 0.0
+	for _, p := range scen.Phases {
+		totalS += p.DurationS
+	}
+	metrics, err := sprinting.SimulateScenarioSweepContext(ctx, scs, workers)
+	if err != nil {
+		fmt.Fprintln(stderr, "fleetsim:", err)
+		return 1
+	}
+	churn := ""
+	if scen.Churn.MTBFS > 0 {
+		churn = fmt.Sprintf(", churn mtbf %.0f s", scen.Churn.MTBFS)
+	}
+	classes := ""
+	if n := len(scen.Classes); n > 0 {
+		classes = fmt.Sprintf(", %d node classes", n)
+	}
+	// Class declarations size the fleet; the metrics carry the node count
+	// the simulation actually ran with.
+	fmt.Fprintf(stdout, "scenario %s: %d phases over %.0f s, %d nodes%s%s\n",
+		path, len(scen.Phases), totalS, len(metrics[0].Nodes), classes, churn)
+	for _, m := range metrics {
+		fmt.Fprintf(stdout, "\n== %s · coordination %s ==\n", m.Policy, m.Coordination)
+		fmt.Fprintf(stdout, "%-12s %11s %8s %12s %9s %9s %9s %8s %7s %6s %6s\n",
+			"phase", "span (s)", "offered", "thr (req/s)", "p50 (s)", "p99 (s)", "p999 (s)",
+			"denied %", "dropped", "redisp", "fails")
+		for _, ph := range m.Phases {
+			fmt.Fprintf(stdout, "%-12s %4.0f-%-6.0f %8d %12.3f %9.3f %9.3f %9.3f %8.2f %7d %6d %6d\n",
+				ph.Name, ph.StartS, ph.EndS, ph.Offered, ph.ThroughputRPS,
+				ph.P50S, ph.P99S, ph.P999S, 100*ph.SprintDenialRate,
+				ph.Dropped, ph.Redispatches, ph.NodeFailures)
+		}
+		fmt.Fprintf(stdout, "overall: thr %.3f req/s, p99 %.3f s, %d/%d completed, %d dropped, %d failures, %d recoveries, %d redispatches",
+			m.ThroughputRPS, m.P99S, m.Completed, m.Requests, m.Dropped,
+			m.NodeFailures, m.NodeRecoveries, m.Redispatches)
+		if m.Coordination != sprinting.RackNoCoordination {
+			fmt.Fprintf(stdout, ", %d trips, permit-denial %.1f%%", m.BreakerTrips, 100*m.PermitDenialRate)
+		}
+		fmt.Fprintln(stdout)
+	}
+	fmt.Fprintln(stdout, "\nphases attribute requests to their arrival window; sprint-aware dispatch rides a flash crowd on remaining thermal headroom")
+	return 0
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -76,12 +150,42 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		rackBufferJ  = fs.Float64("rack-buffer-j", 0, "rack ultracap ride-through energy in joules (0 = one §6 ultracap bank per rack)")
 		permits      = fs.Int("permits", 0, "token-permit coordination: concurrent sprint permits per rack (0 = derive from the budget)")
 		recoveryS    = fs.Float64("recovery-s", 0, "breaker recovery window in seconds (0 = default 2)")
+
+		scenarioPath = fs.String("scenario", "", "JSON scenario file: load phases/ramps, ambient swings, node classes, churn (supersedes -requests and -rate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
+	}
+
+	// Reject incoherent flag combinations instead of silently ignoring
+	// them: a flag that only parameterizes a subsystem the other flags
+	// switched off is a user error worth a loud answer.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["permits"] && *coordination != "token-permit" && *coordination != "all" {
+		fmt.Fprintf(stderr, "fleetsim: -permits only applies to token-permit coordination (got -coordination %s)\n", *coordination)
+		return 2
+	}
+	for _, f := range []string{"rack-size", "rack-budget-w", "rack-buffer-j", "recovery-s"} {
+		if set[f] && *coordination == "none" {
+			fmt.Fprintf(stderr, "fleetsim: -%s requires rack coordination (-coordination uncoordinated|token-permit|probabilistic|all)\n", f)
+			return 2
+		}
+	}
+	if set["hedge-s"] && *policy != "hedged" && *policy != "all" {
+		fmt.Fprintf(stderr, "fleetsim: -hedge-s only applies to the hedged policy (got -policy %s)\n", *policy)
+		return 2
+	}
+	if *scenarioPath != "" {
+		for _, f := range []string{"requests", "rate"} {
+			if set[f] {
+				fmt.Fprintf(stderr, "fleetsim: -%s conflicts with -scenario (the scenario file owns the load profile)\n", f)
+				return 2
+			}
+		}
 	}
 
 	var policies []sprinting.FleetPolicy
@@ -108,6 +212,49 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		coords = []sprinting.RackCoordination{c}
 	}
 	rackMode := len(coords) > 1 || coords[0] != sprinting.RackNoCoordination
+
+	if *scenarioPath != "" {
+		data, err := os.ReadFile(*scenarioPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "fleetsim:", err)
+			return 1
+		}
+		var scen sprinting.FleetScenario
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&scen); err != nil {
+			fmt.Fprintf(stderr, "fleetsim: %s: %v\n", *scenarioPath, err)
+			return 1
+		}
+		// Class declarations size the fleet; an explicit -nodes that
+		// disagrees is rejected like the other scenario conflicts rather
+		// than silently overridden.
+		if classNodes := scen.Nodes(); set["nodes"] && classNodes > 0 && classNodes != *nodes {
+			fmt.Fprintf(stderr, "fleetsim: -nodes %d conflicts with the scenario's classes (%d nodes); drop -nodes or fix the class counts\n",
+				*nodes, classNodes)
+			return 2
+		}
+		var scs []sprinting.ScenarioConfig
+		for _, p := range policies {
+			for _, c := range coords {
+				cfg := sprinting.DefaultFleetConfig(p)
+				cfg.Nodes = *nodes
+				cfg.MeanWorkS = *work
+				cfg.Seed = *seed
+				cfg.QueueCap = *queue
+				cfg.HedgeDelayS = *hedgeS
+				cfg.ExactQuantiles = *exactQ
+				cfg.Coordination = c
+				cfg.RackSize = *rackSize
+				cfg.RackPowerBudgetW = *rackBudgetW
+				cfg.RackBufferJ = *rackBufferJ
+				cfg.SprintPermits = *permits
+				cfg.BreakerRecoveryS = *recoveryS
+				scs = append(scs, sprinting.ScenarioConfig{Fleet: cfg, Scenario: scen})
+			}
+		}
+		return runScenario(ctx, *scenarioPath, scen, scs, *workers, stdout, stderr)
+	}
 
 	var cfgs []sprinting.FleetConfig
 	for _, p := range policies {

@@ -180,3 +180,137 @@ func TestExactQuantilesFlag(t *testing.T) {
 		t.Errorf("small traces are exact either way; output differed:\n%s\n---\n%s", base, exact)
 	}
 }
+
+// TestIncoherentFlagCombinationsRejected pins the flag-coherence errors:
+// a flag that parameterizes a subsystem the other flags switched off is
+// rejected loudly instead of silently ignored.
+func TestIncoherentFlagCombinationsRejected(t *testing.T) {
+	cases := [][]string{
+		{"-permits", "4"}, // permits without token-permit
+		{"-permits", "4", "-coordination", "uncoordinated"},
+		{"-rack-size", "16"}, // rack flags without coordination
+		{"-rack-budget-w", "31"},
+		{"-rack-buffer-j", "50"},
+		{"-recovery-s", "3"},
+		{"-hedge-s", "0.5", "-policy", "sprint-aware"}, // hedge delay without hedging
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(context.Background(), args, &out, &errb); code != 2 {
+			t.Errorf("%v: want exit 2, got %d (stderr: %s)", args, code, errb.String())
+		}
+	}
+	// The same flags are accepted when the subsystem is on (or "all"
+	// includes it).
+	good := [][]string{
+		{"-nodes", "4", "-requests", "200", "-permits", "2", "-coordination", "token-permit"},
+		{"-nodes", "4", "-requests", "200", "-permits", "2", "-coordination", "all", "-policy", "sprint-aware"},
+		{"-nodes", "4", "-requests", "200", "-hedge-s", "0.5", "-policy", "hedged"},
+		{"-nodes", "4", "-requests", "200", "-rack-size", "4", "-coordination", "uncoordinated", "-policy", "sprint-aware"},
+	}
+	for _, args := range good {
+		var out, errb bytes.Buffer
+		if code := run(context.Background(), args, &out, &errb); code != 0 {
+			t.Errorf("%v: want exit 0, got %d (stderr: %s)", args, code, errb.String())
+		}
+	}
+}
+
+// writeScenario drops a scenario file for the CLI tests.
+func writeScenario(t *testing.T, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const flashScenario = `{
+  "base_rate_per_s": 7.2,
+  "phases": [
+    {"name": "baseline", "duration_s": 60, "start_factor": 0.7},
+    {"name": "surge", "duration_s": 40, "start_factor": 2.0},
+    {"name": "recovery", "duration_s": 60, "shape": "decay", "start_factor": 2.0, "end_factor": 0.5}
+  ],
+  "churn": {"mtbf_s": 20, "mean_downtime_s": 5}
+}`
+
+// TestScenarioMode drives -scenario end to end: the report switches to
+// per-phase sections with the scenario's phase names and an overall line.
+func TestScenarioMode(t *testing.T) {
+	p := writeScenario(t, flashScenario)
+	out, code := runOut(t, "-scenario", p, "-policy", "sprint-aware")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"3 phases over 160 s", "baseline", "surge", "recovery", "overall:", "failures", "redisp"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scenario report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestScenarioWorkerCountDoesNotChangeOutput is the acceptance-criteria
+// determinism check at the binary level: a flash-crowd + churn scenario
+// sweep renders byte-identical reports at every worker count.
+func TestScenarioWorkerCountDoesNotChangeOutput(t *testing.T) {
+	p := writeScenario(t, flashScenario)
+	args := []string{"-scenario", p, "-policy", "all", "-coordination", "all", "-seed", "9"}
+	serial, code := runOut(t, append(args, "-workers", "1")...)
+	if code != 0 {
+		t.Fatalf("serial exit %d", code)
+	}
+	wide, code := runOut(t, append(args, "-workers", "8")...)
+	if code != 0 {
+		t.Fatalf("wide exit %d", code)
+	}
+	if serial != wide {
+		t.Errorf("workers=1 and workers=8 differ:\n--- serial ---\n%s\n--- wide ---\n%s", serial, wide)
+	}
+}
+
+// TestScenarioFlagErrors: the scenario file owns the load profile, so
+// -requests/-rate are rejected; unreadable files, malformed JSON, unknown
+// fields, and invalid scenarios all fail with distinct diagnostics.
+func TestScenarioFlagErrors(t *testing.T) {
+	p := writeScenario(t, flashScenario)
+	if _, code := runOut(t, "-scenario", p, "-requests", "100"); code != 2 {
+		t.Errorf("-scenario with -requests should exit 2, got %d", code)
+	}
+	if _, code := runOut(t, "-scenario", p, "-rate", "3"); code != 2 {
+		t.Errorf("-scenario with -rate should exit 2, got %d", code)
+	}
+	if _, code := runOut(t, "-scenario", filepath.Join(t.TempDir(), "missing.json")); code != 1 {
+		t.Errorf("missing scenario file should exit 1, got %d", code)
+	}
+	if _, code := runOut(t, "-scenario", writeScenario(t, "{not json")); code != 1 {
+		t.Errorf("malformed JSON should exit 1, got %d", code)
+	}
+	if _, code := runOut(t, "-scenario", writeScenario(t, `{"phases": [{"duration_s": 10}], "bogus_field": 1}`)); code != 1 {
+		t.Errorf("unknown scenario field should exit 1, got %d", code)
+	}
+	if _, code := runOut(t, "-scenario", writeScenario(t, `{"phases": []}`)); code != 1 {
+		t.Errorf("phase-free scenario should exit 1, got %d", code)
+	}
+}
+
+// TestScenarioClassNodesConflict: an explicit -nodes that disagrees with
+// the scenario's class counts is rejected like the other scenario
+// conflicts, never silently overridden.
+func TestScenarioClassNodesConflict(t *testing.T) {
+	p := writeScenario(t, `{
+  "phases": [{"name": "steady", "duration_s": 30}],
+  "classes": [{"name": "a", "count": 4}, {"name": "b", "count": 4}]
+}`)
+	if _, code := runOut(t, "-scenario", p, "-nodes", "500"); code != 2 {
+		t.Errorf("-nodes conflicting with class counts should exit 2, got %d", code)
+	}
+	// Matching -nodes, or omitting it, both run.
+	if out, code := runOut(t, "-scenario", p, "-nodes", "8"); code != 0 {
+		t.Errorf("matching -nodes should run, got exit %d:\n%s", code, out)
+	}
+	if out, code := runOut(t, "-scenario", p); code != 0 || !strings.Contains(out, "8 nodes") {
+		t.Errorf("class-derived fleet should report 8 nodes (exit %d):\n%s", code, out)
+	}
+}

@@ -15,7 +15,7 @@ func quickOpt() Options { return Options{Scale: 0.12, Seed: 7} }
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	want := []string{"fig1", "table1", "fig2", "fig3", "fig4a", "fig4b", "fig5", "fig6",
 		"sec6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "designspace", "session", "fleet_policy",
-		"rack_coordination"}
+		"rack_coordination", "fleet_scenarios"}
 	got := Registry()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d drivers, want %d", len(got), len(want))
@@ -43,7 +43,7 @@ func TestByID(t *testing.T) {
 // TestCheapDriversRun executes the drivers that do not need architectural
 // simulation at full fidelity.
 func TestCheapDriversRun(t *testing.T) {
-	for _, id := range []string{"fig1", "table1", "fig3", "fig4a", "fig4b", "fig5", "fig6", "sec6", "session", "fleet_policy", "rack_coordination"} {
+	for _, id := range []string{"fig1", "table1", "fig3", "fig4a", "fig4b", "fig5", "fig6", "sec6", "session", "fleet_policy", "rack_coordination", "fleet_scenarios"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			d, err := ByID(id)
@@ -196,5 +196,47 @@ func TestRackCoordinationHeadlineContrast(t *testing.T) {
 	}
 	if checked != 2 {
 		t.Fatalf("expected the contrast in both rack-size tables, checked %d", checked)
+	}
+}
+
+// TestFleetScenariosSurgeContrast pins the scenario study's headline at
+// full scale: during the flash-crowd surge phase, sprint-aware dispatch
+// under token-permit coordination holds a lower p99 than least-loaded
+// dispatch on the same racks — routing on remaining thermal headroom is
+// what rides out exactly the unsteady demand the paper motivates.
+func TestFleetScenariosSurgeContrast(t *testing.T) {
+	tables, err := FleetScenarios(context.Background(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("expected a table per coordination, got %d", len(tables))
+	}
+	surgeP99 := func(tb *table.Table, policy string) float64 {
+		for _, row := range tb.Rows {
+			if row[0] == policy && row[1] == "surge" {
+				var v float64
+				if _, err := fmt.Sscanf(row[5], "%g", &v); err != nil {
+					t.Fatalf("unparseable p99 cell %q", row[5])
+				}
+				return v
+			}
+		}
+		t.Fatalf("table %q has no surge row for %s", tb.Title, policy)
+		return 0
+	}
+	for _, tb := range tables {
+		ll := surgeP99(tb, "least-loaded")
+		sa := surgeP99(tb, "sprint-aware")
+		if sa >= ll {
+			t.Errorf("table %q: sprint-aware surge p99 %.3f should beat least-loaded %.3f",
+				tb.Title, sa, ll)
+		}
+	}
+	// The token-permit table must also be trip-free (its racks coordinate).
+	for _, row := range tables[1].Rows {
+		if row[len(row)-1] != "0" {
+			t.Errorf("token-permit scenario recorded breaker trips: row %v", row)
+		}
 	}
 }

@@ -20,6 +20,19 @@ const (
 	// evBreakerReset closes a tripped rack's breaker after the recovery
 	// window, re-enabling sprint admission.
 	evBreakerReset
+	// evPhase enters the next scenario phase (req carries the phase
+	// index): ambient-temperature shifts retarget every governor and the
+	// per-phase accounting cursor advances. Scenario mode only.
+	evPhase
+	// evNodeFail fails one churn-chosen node: its incarnation counter
+	// bumps (staling any scheduled completion/sprint-end), its rack draw
+	// and permits are released, and orphaned request copies fail over to
+	// live nodes. Scenario mode only.
+	evNodeFail
+	// evNodeRecover returns a failed node to service with a fresh
+	// governor at its class's current (ambient-adjusted) budget.
+	// Scenario mode only.
+	evNodeRecover
 )
 
 // event is one entry of the simulation's future-event list. It is a plain
@@ -41,9 +54,12 @@ type event struct {
 	// deterministic function of the configuration alone.
 	seq uint64
 	// gen must match the rack's current trip generation for evBreakerTrip
-	// to fire.
+	// to fire, or the node's incarnation for evComplete/evSprintEnd (a
+	// mismatch marks an event scheduled against a node that has since
+	// failed).
 	gen uint64
-	// req indexes sim.reqs (evHedge); node and rack index their arrays.
+	// req indexes sim.reqs (evHedge) or carries the phase index
+	// (evPhase); node and rack index their arrays.
 	req  int32
 	node int32
 	rack int32

@@ -266,6 +266,9 @@ type NodeStats struct {
 	// the policy would have routed to, so per-node drops always sum to
 	// Metrics.Dropped.
 	Dropped int
+	// Failures counts scenario churn failures of this node (0 outside
+	// scenario mode).
+	Failures int
 	// Rack is the node's rack index (0 when coordination is disabled).
 	Rack int
 	// EnergyJ is the service energy the node drew (sprint slices at sprint
@@ -347,6 +350,17 @@ type Metrics struct {
 	PermitDenialRate float64
 	// Racks is the per-rack breakdown.
 	Racks []RackStats
+
+	// Scenario outcome (SimulateScenario only; otherwise zero/nil).
+	// NodeFailures and NodeRecoveries count churn events; Redispatches
+	// counts request copies failed over from a dead node to a live one
+	// (an orphaned copy that finds no queue space anywhere is a Dropped).
+	NodeFailures   int
+	NodeRecoveries int
+	Redispatches   int
+	// Phases is the per-phase breakdown, one entry per Scenario phase in
+	// declaration order.
+	Phases []PhaseMetrics
 }
 
 // request is one open-loop arrival; doneS < 0 until its first completion.
@@ -357,7 +371,13 @@ type request struct {
 	workS     float64
 	doneS     float64
 	firstNode int32
-	dropped   bool
+	// phase is the scenario phase the request arrived in (0 outside
+	// scenario mode); copies counts live dispatched copies so failure
+	// handling can tell an orphaned request (fail over) from one that
+	// still has a copy in flight elsewhere (hedging).
+	phase   int16
+	copies  int16
+	dropped bool
 }
 
 // reqCopy is one dispatched copy of a request (hedging can make two): an
@@ -372,6 +392,7 @@ type reqCopy struct {
 type node struct {
 	id     int
 	rackID int
+	class  int32
 	gov    governor.Governor
 
 	queue []reqCopy
@@ -383,6 +404,16 @@ type node struct {
 	busy       bool
 	cur        reqCopy
 	busyUntilS float64
+
+	// alive is false while scenario churn has the node failed; gen is the
+	// node's incarnation, bumped on failure so completion and sprint-end
+	// events scheduled against a dead incarnation are recognized as stale.
+	// sprintXW is the extra rack power the node's active sprint phase
+	// draws (0 when none), recorded so a failure can retire the phase
+	// from its rack immediately instead of waiting for a stale event.
+	alive    bool
+	gen      uint64
+	sprintXW float64
 
 	stats NodeStats
 }
@@ -403,17 +434,49 @@ func (n *node) outstanding() int {
 // it is unexported so release binaries cannot reach it.
 var refDispatch bool
 
+// nodeClass is one hardware class of the fleet: the per-node constants
+// dispatch scoring and the service discipline read. A plain simulation has
+// exactly one class derived from Config; scenarios may declare several
+// (see NodeClass), and ambient-temperature phases re-derive the
+// environment-dependent fields (capJ, drainW, netW, proto) in place.
+type nodeClass struct {
+	name     string
+	width    float64
+	sprintW  float64
+	nominalW float64
+	extraW   float64
+	queueCap int
+
+	// gcfg is the class's governor configuration at design ambient; proto
+	// is the governor prototype nodes of this class are (re)born with,
+	// after the budget/drain scale factors are applied.
+	gcfg        governor.Config
+	budgetScale float64
+	drainScale  float64
+	proto       governor.Governor
+
+	// Environment-dependent projection constants (shared by every node of
+	// the class, so sprint-aware scoring reads floats instead of
+	// re-deriving them); drainW is also the budget refill rate.
+	capJ   float64
+	drainW float64
+	netW   float64
+}
+
 // sim is the running simulation state.
 type sim struct {
-	cfg    Config
-	rate   float64
-	width  float64
-	drainW float64
-	// capJ and netW cache the governor-projection constants shared by
-	// every node (all governors are built from the same Config.Node), so
-	// sprint-aware scoring reads two floats instead of re-deriving them.
-	capJ float64
-	netW float64
+	cfg  Config
+	rate float64
+	// classes holds the per-class constants; class 0 is the whole fleet
+	// outside scenario mode, so the homogeneous fast paths read
+	// s.classes[0] directly.
+	classes []nodeClass
+	// scen is non-nil when running a Scenario (phases, churn, per-phase
+	// accounting); see scenario.go.
+	scen *scenarioRun
+	// lastFailed is the most recently failed node, the drop-attribution
+	// fallback for arrivals that find no live node at all.
+	lastFailed int32
 
 	nodes []node
 	// racks is empty when rack coordination is disabled; rackRng is the
@@ -453,40 +516,76 @@ type sim struct {
 	m         Metrics
 }
 
-// Simulate runs the fleet under the configuration and returns its metrics.
-// The simulation is deterministic: the same Config always yields the same
-// Metrics. The context is checked periodically so very large traces can be
-// cancelled.
-func Simulate(ctx context.Context, cfg Config) (Metrics, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
-		return Metrics{}, err
+// baseClass derives the single homogeneous node class of a plain (non-
+// scenario) simulation from the configuration.
+func baseClass(cfg Config) nodeClass {
+	proto := governor.New(cfg.Node)
+	// While not sprinting the package sheds heat at the sustained
+	// budget; the sprint-aware estimator projects refill at this rate.
+	drain := cfg.Node.Design.SustainedPowerBudgetW()
+	return nodeClass{
+		name:        "default",
+		width:       float64(cfg.SprintWidth),
+		sprintW:     cfg.Node.SprintPowerW,
+		nominalW:    cfg.Node.NominalPowerW,
+		extraW:      cfg.Node.SprintPowerW - cfg.Node.NominalPowerW,
+		queueCap:    cfg.QueueCap,
+		gcfg:        cfg.Node,
+		budgetScale: 1,
+		drainScale:  1,
+		proto:       *proto,
+		capJ:        proto.CapacityJ(),
+		drainW:      drain,
+		netW:        cfg.Node.SprintPowerW - drain,
 	}
+}
+
+// cl returns the node's class constants.
+func (s *sim) cl(n *node) *nodeClass { return &s.classes[n.class] }
+
+// newSim assembles the simulation state shared by Simulate and
+// SimulateScenario; cfg must already be defaulted and validated, and
+// cfg.Requests must be the final trace length (quantile-mode selection
+// reads it). A non-nil scen supplies the classes and per-node assignment.
+func newSim(cfg Config, scen *scenarioRun) *sim {
 	s := &sim{
-		cfg:   cfg,
-		rate:  cfg.EffectiveRatePerS(),
-		width: float64(cfg.SprintWidth),
-		// While not sprinting the package sheds heat at the sustained
-		// budget; the sprint-aware estimator projects refill at this rate.
-		drainW: cfg.Node.Design.SustainedPowerBudgetW(),
-		useRef: refDispatch,
+		cfg:        cfg,
+		rate:       cfg.EffectiveRatePerS(),
+		lastFailed: -1,
+		useRef:     refDispatch,
+		scen:       scen,
 	}
 	s.m.Policy = cfg.Policy
 	s.m.Requests = cfg.Requests
 	s.m.Coordination = cfg.Coordination
-	proto := governor.New(cfg.Node)
-	s.capJ = proto.CapacityJ()
-	s.netW = cfg.Node.SprintPowerW - s.drainW
+	if scen != nil {
+		s.classes = scen.classes
+	} else {
+		s.classes = []nodeClass{baseClass(cfg)}
+	}
 	s.nodes = make([]node, cfg.Nodes)
 	for i := range s.nodes {
-		s.nodes[i] = node{id: i, gov: *proto}
+		c := int32(0)
+		if scen != nil {
+			c = scen.classIdx[i]
+		}
+		s.nodes[i] = node{id: i, class: c, gov: s.classes[c].proto, alive: true}
 	}
+	// Heterogeneous sprint-aware scoring has no single static idle key
+	// (the projection constants differ per class), so it routes through
+	// the linear-scan reference selector; least-loaded and hedged keys
+	// are absolute drain instants, valid across classes, and keep the
+	// O(log N) index.
 	if !s.useRef {
 		switch cfg.Policy {
 		case LeastLoaded, Hedged:
 			s.idx = newDispatchIndex(cfg.Nodes)
 			s.idx.reset(math.Inf(-1)) // every node idle
 		case SprintAware:
+			if len(s.classes) > 1 {
+				s.useRef = true
+				break
+			}
 			s.busyIdx = newDispatchIndex(cfg.Nodes) // empty: no node busy
 			s.idleIdx = newDispatchIndex(cfg.Nodes)
 			s.idleIdx.reset(s.tKey(&s.nodes[0])) // full budgets: one shared key
@@ -508,17 +607,33 @@ func Simulate(ctx context.Context, cfg Config) (Metrics, error) {
 				nominalW:   cfg.Node.NominalPowerW,
 				bufferJ:    cfg.RackBufferJ,
 				bufferCapJ: cfg.RackBufferJ,
+				dynamic:    scen != nil,
 			}
 		}
 		for i := range s.nodes {
 			s.nodes[i].rackID = i / cfg.RackSize
-			s.racks[s.nodes[i].rackID].size++
+			r := &s.racks[s.nodes[i].rackID]
+			r.size++
+			r.nominalLiveW += s.cl(&s.nodes[i]).nominalW
 		}
 		// A dedicated stream keeps Probabilistic admission independent of
 		// the arrival trace; the event loop is single-threaded and fully
 		// ordered, so draws replay identically at any worker count.
 		s.rackRng = rand.New(rand.NewSource(cfg.Seed ^ 0x5deece66d))
 	}
+	return s
+}
+
+// Simulate runs the fleet under the configuration and returns its metrics.
+// The simulation is deterministic: the same Config always yields the same
+// Metrics. The context is checked periodically so very large traces can be
+// cancelled.
+func Simulate(ctx context.Context, cfg Config) (Metrics, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	s := newSim(cfg, nil)
 
 	// Open-loop arrival trace: the session burst generator at the fleet's
 	// aggregate rate (mean gap = 1/rate). The trace is time-sorted with
@@ -531,7 +646,12 @@ func Simulate(ctx context.Context, cfg Config) (Metrics, error) {
 	for i, b := range bursts {
 		s.reqs[i] = request{arrivalS: b.ArrivalS, workS: b.WorkS, doneS: -1, firstNode: -1}
 	}
+	return s.run(ctx)
+}
 
+// run drives the merged arrival-cursor / event-heap loop to completion
+// and assembles the metrics.
+func (s *sim) run(ctx context.Context) (Metrics, error) {
 	arrival := 0
 	for steps := 0; ; steps++ {
 		if steps&1023 == 1023 {
@@ -555,28 +675,54 @@ func Simulate(ctx context.Context, cfg Config) (Metrics, error) {
 		case evHedge:
 			s.hedge(ev.req)
 		case evComplete:
-			s.complete(&s.nodes[ev.node])
+			// A gen mismatch marks a completion scheduled against an
+			// incarnation that has since failed; the copy was already
+			// destroyed (and failed over) by nodeFail.
+			if n := &s.nodes[ev.node]; n.gen == ev.gen {
+				s.complete(n)
+			}
 		case evSprintEnd:
 			s.sprintEnd(ev)
 		case evBreakerTrip:
 			s.breakerTrip(ev)
 		case evBreakerReset:
 			s.breakerReset(ev)
+		case evPhase:
+			s.phaseStart(int(ev.req))
+		case evNodeFail:
+			s.nodeFail()
+		case evNodeRecover:
+			s.nodeRecover(&s.nodes[ev.node])
 		}
 	}
 	return s.finish(), nil
+}
+
+// drop records a request bounced for lack of capacity, attributing it to
+// the node it would have joined (nil only when no live node exists, in
+// which case the most recently failed node carries the attribution so
+// per-node drops always sum to the fleet total).
+func (s *sim) drop(ri int32, n *node) {
+	r := &s.reqs[ri]
+	r.dropped = true
+	s.m.Dropped++
+	if n == nil && s.lastFailed >= 0 {
+		n = &s.nodes[s.lastFailed]
+	}
+	if n != nil {
+		n.stats.Dropped++
+	}
+	if s.scen != nil {
+		s.scen.acc[r.phase].dropped++
+	}
 }
 
 // dispatch routes a fresh arrival to the policy-chosen node.
 func (s *sim) dispatch(ri int32) {
 	r := &s.reqs[ri]
 	n := s.selectNode(r.workS, -1)
-	if n == nil || n.outstanding() >= s.cfg.QueueCap {
-		r.dropped = true
-		s.m.Dropped++
-		if n != nil {
-			n.stats.Dropped++
-		}
+	if n == nil || n.outstanding() >= s.cl(n).queueCap {
+		s.drop(ri, n)
 		return
 	}
 	r.firstNode = int32(n.id)
@@ -595,7 +741,7 @@ func (s *sim) hedge(ri int32) {
 		return
 	}
 	n := s.selectNode(r.workS, int(r.firstNode))
-	if n == nil || n.outstanding() >= s.cfg.QueueCap {
+	if n == nil || n.outstanding() >= s.cl(n).queueCap {
 		s.m.HedgesSuppressed++
 		return
 	}
@@ -603,14 +749,35 @@ func (s *sim) hedge(ri int32) {
 	s.enqueue(n, reqCopy{req: ri, hedge: true})
 }
 
+// redispatch fails a request copy over to a fresh node after its original
+// node died: the standard policy selection, with a drop (attributed to the
+// would-be node) when nothing has queue space.
+func (s *sim) redispatch(ri int32) {
+	r := &s.reqs[ri]
+	n := s.selectNode(r.workS, -1)
+	if n == nil || n.outstanding() >= s.cl(n).queueCap {
+		s.drop(ri, n)
+		return
+	}
+	s.m.Redispatches++
+	if s.scen != nil {
+		s.scen.acc[r.phase].redispatches++
+	}
+	// The failover target is the request's first node now: a pending
+	// hedge check must exclude it, not the dead original.
+	r.firstNode = int32(n.id)
+	s.enqueue(n, reqCopy{req: ri})
+}
+
 // enqueue places a copy on the node, starting service if it is idle, and
 // refreshes the node's routing key.
 func (s *sim) enqueue(n *node, c reqCopy) {
+	s.reqs[c.req].copies++
 	if !n.busy {
 		s.startService(n, c)
 	} else {
 		n.queue = append(n.queue, c)
-		n.queuedNaiveS += s.reqs[c.req].workS / s.width
+		n.queuedNaiveS += s.reqs[c.req].workS / s.cl(n).width
 	}
 	s.touch(n)
 }
@@ -629,10 +796,10 @@ func (s *sim) enqueue(n *node, c reqCopy) {
 func (s *sim) touch(n *node) {
 	switch {
 	case s.idx != nil:
-		s.idx.update(n.id, n.outstanding() >= s.cfg.QueueCap, n.drainKey())
+		s.idx.update(n.id, !n.alive || n.outstanding() >= s.cl(n).queueCap, n.drainKey())
 	case s.busyIdx != nil:
 		switch {
-		case n.outstanding() >= s.cfg.QueueCap:
+		case !n.alive || n.outstanding() >= s.cl(n).queueCap:
 			s.busyIdx.update(n.id, true, math.Inf(1))
 			s.idleIdx.update(n.id, true, math.Inf(1))
 		case n.busy:
@@ -655,11 +822,12 @@ func (s *sim) touch(n *node) {
 // non-refilling platform (drainW ≤ 0) the budget is static and −remJ
 // gives the same ordering.
 func (s *sim) tKey(n *node) float64 {
+	cl := s.cl(n)
 	remJ := n.gov.RemainingJ()
-	if s.drainW <= 0 {
+	if cl.drainW <= 0 {
 		return -remJ
 	}
-	return n.gov.Now() - remJ/s.drainW
+	return n.gov.Now() - remJ/cl.drainW
 }
 
 // startService begins serving a copy now: the governor idles over the gap
@@ -677,7 +845,7 @@ func (s *sim) startService(n *node, c reqCopy) {
 		serviceS, energyJ, sprintS, full = s.serve(n, workS)
 	} else {
 		serviceS = workS
-		energyJ = s.cfg.Node.NominalPowerW * serviceS
+		energyJ = s.cl(n).nominalW * serviceS
 		n.gov.Idle(serviceS) // at nominal the thermal budget refills
 	}
 	if sprintS > 0 {
@@ -689,9 +857,16 @@ func (s *sim) startService(n *node, c reqCopy) {
 	if !full {
 		n.stats.Denials++
 	}
+	if s.scen != nil {
+		a := &s.scen.acc[s.reqs[c.req].phase]
+		a.served++
+		if !full {
+			a.denials++
+		}
+	}
 	n.stats.EnergyJ += energyJ
 	n.stats.BusyS += serviceS
-	s.push(event{atS: n.busyUntilS, kind: evComplete, node: int32(n.id)})
+	s.push(event{atS: n.busyUntilS, kind: evComplete, node: int32(n.id), gen: n.gen})
 }
 
 // serve runs the governed service discipline (the session evaluator's
@@ -701,15 +876,16 @@ func (s *sim) startService(n *node, c reqCopy) {
 // thermal budget only drains while serving, so once degraded a service
 // never sprints again), and whether the whole request ran at full width.
 func (s *sim) serve(n *node, workS float64) (serviceS, energyJ, sprintS float64, full bool) {
-	sprintW := s.cfg.Node.SprintPowerW
-	nominalW := s.cfg.Node.NominalPowerW
+	cl := s.cl(n)
+	sprintW := cl.sprintW
+	nominalW := cl.nominalW
 	remaining := workS
 	full = true
 	for remaining > 1e-12 {
 		maxFullS := n.gov.MaxSprintS(sprintW)
 		switch {
-		case maxFullS*s.width >= remaining:
-			dt := remaining / s.width
+		case maxFullS*cl.width >= remaining:
+			dt := remaining / cl.width
 			n.gov.RecordSprint(sprintW, dt)
 			serviceS += dt
 			energyJ += sprintW * dt
@@ -720,7 +896,7 @@ func (s *sim) serve(n *node, workS float64) (serviceS, energyJ, sprintS float64,
 			serviceS += maxFullS
 			energyJ += sprintW * maxFullS
 			sprintS += maxFullS
-			remaining -= maxFullS * s.width
+			remaining -= maxFullS * cl.width
 			full = false
 		default:
 			dt := remaining
@@ -741,6 +917,7 @@ func (s *sim) complete(n *node) {
 	c := n.cur
 	n.busy = false
 	s.lastDoneS = s.nowS
+	s.reqs[c.req].copies--
 	if r := &s.reqs[c.req]; r.doneS < 0 {
 		r.doneS = s.nowS
 		lat := s.nowS - r.arrivalS
@@ -750,6 +927,9 @@ func (s *sim) complete(n *node) {
 			s.latencies = append(s.latencies, lat)
 		}
 		s.m.Completed++
+		if s.scen != nil {
+			s.scen.acc[r.phase].observe(lat)
+		}
 		if c.hedge {
 			s.m.HedgeWins++
 		}
@@ -757,8 +937,9 @@ func (s *sim) complete(n *node) {
 	for n.head < len(n.queue) {
 		next := n.queue[n.head]
 		n.head++
-		n.queuedNaiveS -= s.reqs[next.req].workS / s.width
+		n.queuedNaiveS -= s.reqs[next.req].workS / s.cl(n).width
 		if s.reqs[next.req].doneS >= 0 {
+			s.reqs[next.req].copies--
 			s.m.CancelledCopies++
 			continue
 		}
@@ -781,23 +962,24 @@ func (s *sim) complete(n *node) {
 // budget), but it is exactly the "most usable thermal headroom" signal
 // sprint-aware dispatch routes on.
 func (s *sim) estFinishAt(n *node, workS float64) float64 {
+	cl := s.cl(n)
 	startS := s.nowS
 	if n.busy {
 		startS = n.busyUntilS + n.queuedNaiveS
 	}
 	remJ := n.gov.RemainingJ()
 	if dt := startS - n.gov.Now(); dt > 0 {
-		remJ = math.Min(s.capJ, remJ+s.drainW*dt)
+		remJ = math.Min(cl.capJ, remJ+cl.drainW*dt)
 	}
 	var svc float64
-	if s.netW <= 0 {
-		svc = workS / s.width
+	if cl.netW <= 0 {
+		svc = workS / cl.width
 	} else {
-		fullS := remJ / s.netW
-		if workS/s.width <= fullS {
-			svc = workS / s.width
+		fullS := remJ / cl.netW
+		if workS/cl.width <= fullS {
+			svc = workS / cl.width
 		} else {
-			svc = fullS + (workS - fullS*s.width)
+			svc = fullS + (workS - fullS*cl.width)
 		}
 	}
 	return startS + svc
@@ -827,9 +1009,16 @@ func (n *node) drainKey() float64 {
 // implement identical semantics; see index.go.
 func (s *sim) selectNode(workS float64, exclude int) *node {
 	if s.cfg.Policy == RoundRobin {
-		n := &s.nodes[s.rr%len(s.nodes)]
-		s.rr++
-		return n
+		// The dispatcher is state-blind but not necromantic: it skips dead
+		// nodes, returning nil only when the whole fleet is down.
+		for i := 0; i < len(s.nodes); i++ {
+			n := &s.nodes[s.rr%len(s.nodes)]
+			s.rr++
+			if n.alive {
+				return n
+			}
+		}
+		return nil
 	}
 	start := s.rr
 	s.rr++
@@ -878,9 +1067,13 @@ func (s *sim) selectNode(workS float64, exclude int) *node {
 // champion already scores the bound's minimum), and only in a saturated
 // fleet of depleted budgets widens toward the old full scan.
 func (s *sim) sprintAwareMin(start int, workS float64) *node {
+	// Indexed sprint-aware selection runs only on a homogeneous fleet
+	// (newSim falls back to the reference scan otherwise), so class 0
+	// holds every projection constant.
+	cl := &s.classes[0]
 	nn := len(s.nodes)
 	rot := start % nn
-	wow := workS / s.width
+	wow := workS / cl.width
 	var best *node
 	var bestScore float64
 	bestRot := 0
@@ -889,18 +1082,18 @@ func (s *sim) sprintAwareMin(start int, workS float64) *node {
 	// net·(work/width) joules — capped at the full budget, which is the
 	// most any idle node can hold (beyond it every saturated node ties).
 	idle := -1
-	if s.netW <= 0 {
+	if cl.netW <= 0 {
 		// Sprinting is sustainable: every idle node serves at full width
 		// and ties exactly, so the rotation alone picks the champion.
 		idle = s.idleIdx.firstLE(rot, math.Inf(1))
 	} else {
-		needJ := s.netW * wow
-		if needJ > s.capJ {
-			needJ = s.capJ
+		needJ := cl.netW * wow
+		if needJ > cl.capJ {
+			needJ = cl.capJ
 		}
 		thresh := -needJ
-		if s.drainW > 0 {
-			thresh = s.nowS - needJ/s.drainW
+		if cl.drainW > 0 {
+			thresh = s.nowS - needJ/cl.drainW
 		}
 		if idle = s.idleIdx.firstLE(rot, thresh); idle < 0 {
 			idle = s.idleIdx.argmin(rot)
@@ -957,7 +1150,7 @@ func (s *sim) refSelect(workS float64, exclude, start int) *node {
 	nn := len(s.nodes)
 	for i := 0; i < nn; i++ {
 		n := &s.nodes[(start+i)%nn]
-		if n.id == exclude {
+		if n.id == exclude || !n.alive {
 			continue
 		}
 		var sc float64
@@ -966,7 +1159,7 @@ func (s *sim) refSelect(workS float64, exclude, start int) *node {
 		} else {
 			sc = n.drainKey()
 		}
-		if n.outstanding() >= s.cfg.QueueCap {
+		if n.outstanding() >= s.cl(n).queueCap {
 			if bestFull == nil || sc < bestFullScore {
 				bestFull, bestFullScore = n, sc
 			}
@@ -1034,10 +1227,11 @@ func (s *sim) finish() Metrics {
 			r := &s.racks[i]
 			// The event list has drained, so every admitted sprint phase
 			// must have retired; a residue means a grant/end pairing bug
-			// (e.g. a TokenPermit release without its grant).
-			if r.sprinting != 0 || r.permits != 0 {
-				panic(fmt.Sprintf("fleet: rack %d finished with %d sprinting / %d permits outstanding",
-					r.id, r.sprinting, r.permits))
+			// (e.g. a TokenPermit release without its grant, or a failed
+			// node's sprint draw never retired from its rack).
+			if r.sprinting != 0 || r.permits != 0 || math.Abs(r.sprintExtraW) > 1e-6 {
+				panic(fmt.Sprintf("fleet: rack %d finished with %d sprinting / %d permits / %.3g W outstanding",
+					r.id, r.sprinting, r.permits, r.sprintExtraW))
 			}
 			r.stats.ID = r.id
 			r.stats.Nodes = r.size
@@ -1058,6 +1252,9 @@ func (s *sim) finish() Metrics {
 	}
 	if m.Completed > 0 {
 		m.EnergyPerRequestJ = m.TotalEnergyJ / float64(m.Completed)
+	}
+	if s.scen != nil {
+		m.Phases = s.scen.phaseMetrics()
 	}
 	return m
 }

@@ -165,6 +165,16 @@ type rack struct {
 	sprinting int
 	permits   int
 
+	// dynamic marks scenario-mode accounting: node classes may differ and
+	// members may fail, so the draw is tracked as explicit sums —
+	// nominalLiveW over live members and sprintExtraW over active sprint
+	// phases — instead of the homogeneous size/count formula (which is
+	// kept verbatim for plain simulations so historical runs stay
+	// bit-identical).
+	dynamic      bool
+	nominalLiveW float64
+	sprintExtraW float64
+
 	// lastS is the last buffer-accounting instant. tripped marks the
 	// breaker-open recovery window; tripGen invalidates stale scheduled
 	// trip events after the draw balance changes.
@@ -176,8 +186,12 @@ type rack struct {
 }
 
 // drawW is the rack's instantaneous power draw: every member at nominal
-// plus the sprint excess of the members currently sprinting.
+// plus the sprint excess of the members currently sprinting. Dead
+// scenario nodes draw nothing.
 func (r *rack) drawW() float64 {
+	if r.dynamic {
+		return r.nominalLiveW + r.sprintExtraW
+	}
 	return float64(r.size)*r.nominalW + float64(r.sprinting)*r.extraW
 }
 
@@ -223,7 +237,8 @@ func (s *sim) sprintAdmitted(n *node, workS float64) bool {
 	if s.racks == nil {
 		return true
 	}
-	if maxFullS := n.gov.MaxSprintS(s.cfg.Node.SprintPowerW); maxFullS <= 1e-9 && maxFullS*s.width < workS {
+	cl := s.cl(n)
+	if maxFullS := n.gov.MaxSprintS(cl.sprintW); maxFullS <= 1e-9 && maxFullS*cl.width < workS {
 		// The node's own thermal budget is spent; serve() degrades to
 		// nominal on its own, so this is not a rack sprint request.
 		return true
@@ -247,9 +262,14 @@ func (s *sim) sprintAdmitted(n *node, workS float64) bool {
 		// Headroom counts the circuit surplus plus the buffer charge
 		// spread over the paper's 1 s design-sprint horizon: a full
 		// buffer admits boldly, a draining one throttles smoothly toward
-		// the deterministic deny at zero surplus and zero charge.
+		// the deterministic deny at zero surplus and zero charge. The
+		// requesting node's own sprint excess is the stake it gambles.
+		extraW := r.extraW
+		if r.dynamic {
+			extraW = cl.extraW
+		}
 		headroomW := r.budgetW - r.drawW() + r.bufferJ/sprintHorizonS
-		granted = s.rackRng.Float64() < math.Min(1, math.Max(0, headroomW/r.extraW))
+		granted = s.rackRng.Float64() < math.Min(1, math.Max(0, headroomW/extraW))
 	}
 	if !granted {
 		r.stats.PermitDenials++
@@ -261,6 +281,8 @@ func (s *sim) sprintAdmitted(n *node, workS float64) bool {
 // rackSprintStart charges an admitted sprint phase against the rack: the
 // draw rises for sprintS seconds (the governed service's full-width
 // prefix), after which evSprintEnd restores it and releases any permit.
+// The event carries the node's incarnation so a failure in between
+// (which retires the phase immediately) stales it.
 func (s *sim) rackSprintStart(n *node, sprintS float64) {
 	if s.racks == nil {
 		return
@@ -268,19 +290,36 @@ func (s *sim) rackSprintStart(n *node, sprintS float64) {
 	r := &s.racks[n.rackID]
 	r.accrue(s.nowS)
 	r.sprinting++
-	s.push(event{atS: s.nowS + sprintS, kind: evSprintEnd, rack: int32(r.id)})
+	n.sprintXW = s.cl(n).extraW
+	r.sprintExtraW += n.sprintXW
+	s.push(event{atS: s.nowS + sprintS, kind: evSprintEnd, rack: int32(r.id), node: int32(n.id), gen: n.gen})
 	s.scheduleTrip(r)
 }
 
-// sprintEnd retires one member's sprint phase from the rack draw.
+// sprintEnd retires one member's sprint phase from the rack draw. A gen
+// mismatch marks a phase whose node failed mid-sprint; nodeFail already
+// retired it.
 func (s *sim) sprintEnd(ev event) {
+	n := &s.nodes[ev.node]
+	if n.gen != ev.gen {
+		return
+	}
 	r := &s.racks[ev.rack]
 	r.accrue(s.nowS)
+	s.releaseSprint(r, n)
+	s.scheduleTrip(r)
+}
+
+// releaseSprint removes the node's active sprint phase from the rack draw
+// and returns any TokenPermit grant; the caller has already accrued the
+// buffer and re-projects the trip afterwards.
+func (s *sim) releaseSprint(r *rack, n *node) {
 	r.sprinting--
+	r.sprintExtraW -= n.sprintXW
+	n.sprintXW = 0
 	if s.cfg.Coordination == TokenPermit {
 		r.permits--
 	}
-	s.scheduleTrip(r)
 }
 
 // breakerTrip opens the rack's branch breaker: the buffer is spent, every
@@ -297,6 +336,9 @@ func (s *sim) breakerTrip(ev event) {
 	r.bufferJ = 0
 	r.stats.Trips++
 	s.m.BreakerTrips++
+	if s.scen != nil {
+		s.scen.acc[s.scen.cur].trips++
+	}
 	s.push(event{atS: s.nowS + s.cfg.BreakerRecoveryS, kind: evBreakerReset, rack: int32(r.id)})
 }
 

@@ -90,6 +90,29 @@ func New(cfg Config) *Governor {
 // CapacityJ returns the usable sprint budget in joules.
 func (g *Governor) CapacityJ() float64 { return g.capacityJ }
 
+// DrainW returns the rate heat leaves the package while not sprinting.
+func (g *Governor) DrainW() float64 { return g.drainW }
+
+// Retarget moves the governor to a new operating environment — a changed
+// budget capacity and drain rate — while preserving the heat currently
+// stored in the package. The fleet scenario engine uses it for ambient
+// temperature swings (a hotter ambient shrinks both the usable budget and
+// the drain toward it) and for heterogeneous node classes whose budgets
+// are scaled relative to the design point. Stored heat above the new
+// capacity is clamped: the package cannot hold more than the budget says,
+// so a shrink lands the governor at exactly exhausted rather than in an
+// unreachable negative-remaining state.
+func (g *Governor) Retarget(capacityJ, drainW float64) {
+	if capacityJ < 0 {
+		capacityJ = 0
+	}
+	g.capacityJ = capacityJ
+	g.drainW = drainW
+	if g.storedJ > g.capacityJ {
+		g.storedJ = g.capacityJ
+	}
+}
+
 // RemainingJ returns the currently available sprint energy.
 func (g *Governor) RemainingJ() float64 { return g.capacityJ - g.storedJ }
 

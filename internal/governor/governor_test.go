@@ -245,3 +245,47 @@ func TestSubDrainSprintRefills(t *testing.T) {
 		t.Errorf("at-drain burst moved the budget: %.3f J -> %.3f J", before, flat.RemainingJ())
 	}
 }
+
+// TestRetarget moves a governor between operating environments: stored
+// heat survives the move, a shrunken capacity clamps it at exhausted, and
+// the new drain rate drives refill from then on.
+func TestRetarget(t *testing.T) {
+	cfg := DefaultConfig()
+	g := New(cfg)
+	cap0, drain0 := g.CapacityJ(), g.DrainW()
+	if drain0 != cfg.Design.SustainedPowerBudgetW() {
+		t.Fatalf("DrainW = %.3f, want the sustained budget %.3f", drain0, cfg.Design.SustainedPowerBudgetW())
+	}
+	g.RecordSprint(16, 0.5)
+	stored := cap0 - g.RemainingJ()
+
+	// A milder environment: more capacity, faster drain; stored heat keeps.
+	g.Retarget(cap0*1.5, drain0*2)
+	if g.CapacityJ() != cap0*1.5 || g.DrainW() != drain0*2 {
+		t.Fatalf("retarget did not take: cap %.3f drain %.3f", g.CapacityJ(), g.DrainW())
+	}
+	if got := g.CapacityJ() - g.RemainingJ(); math.Abs(got-stored) > 1e-9 {
+		t.Errorf("stored heat changed across retarget: %.3f J -> %.3f J", stored, got)
+	}
+
+	// A hostile environment below the stored heat clamps to exhausted.
+	g.Retarget(stored/2, drain0)
+	if g.RemainingJ() != 0 {
+		t.Errorf("shrinking capacity below stored heat should clamp remaining to 0, got %.3f J", g.RemainingJ())
+	}
+	if g.MaxSprintS(16) != 0 {
+		t.Errorf("an exhausted retargeted governor should deny sprints, got %.3f s", g.MaxSprintS(16))
+	}
+
+	// Refill now runs at the retargeted drain rate.
+	g.Retarget(cap0, drain0*2)
+	g.Idle(1)
+	if want := math.Min(cap0, cap0-stored/2+drain0*2); math.Abs(g.RemainingJ()-math.Min(want, cap0)) > 1e-9 {
+		t.Errorf("refill after retarget = %.3f J, want %.3f J", g.RemainingJ(), math.Min(want, cap0))
+	}
+	// A negative capacity is clamped to zero rather than going negative.
+	g.Retarget(-1, drain0)
+	if g.CapacityJ() != 0 || g.RemainingJ() != 0 {
+		t.Errorf("negative capacity should clamp to 0: cap %.3f rem %.3f", g.CapacityJ(), g.RemainingJ())
+	}
+}

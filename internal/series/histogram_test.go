@@ -110,3 +110,124 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		h.Observe(float64(i%1000)*1e-3 + 1e-4)
 	}
 }
+
+// TestHistogramZeroAndNegativeSamples: non-positive observations land in
+// the bottom edge bin (log10 is never taken on them), moments stay
+// exact, and quantiles stay inside [Min, Max] — so a latency of exactly
+// zero (or a buggy negative) can never produce a NaN or an escape.
+func TestHistogramZeroAndNegativeSamples(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(-3)
+	h.Observe(2)
+	if h.Count() != 3 || h.Sum() != -1 {
+		t.Fatalf("count/sum = %d/%g, want 3/-1", h.Count(), h.Sum())
+	}
+	if h.Min() != -3 || h.Max() != 2 {
+		t.Errorf("min/max = %g/%g, want exact -3/2", h.Min(), h.Max())
+	}
+	if h.Mean() != -1.0/3 {
+		t.Errorf("mean = %g, want %g", h.Mean(), -1.0/3)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		v := h.Quantile(q)
+		if math.IsNaN(v) || v < h.Min() || v > h.Max() {
+			t.Errorf("q=%g: %g escaped [%g, %g]", q, v, h.Min(), h.Max())
+		}
+	}
+	// The non-positive samples share the bottom edge bin, so a quantile
+	// landing there degrades to that bin's span (the documented edge-bin
+	// contract) — but never below the exact Min.
+	if lo := h.Quantile(0.01); lo < h.Min() {
+		t.Errorf("low quantile %g fell below the exact min %g", lo, h.Min())
+	}
+}
+
+// TestHistogramSingleSample: every quantile of a one-observation sample
+// is that observation, exactly.
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0.37)
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 0.999, 1} {
+		if got := h.Quantile(q); got != 0.37 {
+			t.Errorf("q=%g of a single sample = %g, want exactly 0.37", q, got)
+		}
+	}
+	if h.Mean() != 0.37 || h.Min() != 0.37 || h.Max() != 0.37 {
+		t.Errorf("moments of a single sample: mean %g min %g max %g", h.Mean(), h.Min(), h.Max())
+	}
+}
+
+// TestHistogramBinBoundaryValues: values on (or within a float ulp of) a
+// bin edge must keep the one-bin quantile contract — the edge itself is
+// reported no more than one bin above the observation.
+func TestHistogramBinBoundaryValues(t *testing.T) {
+	binFactor := math.Pow(10, 1.0/128)
+	for _, v := range []float64{1e-9, 1, 1 * binFactor, 0.1, math.Nextafter(0.1, 0), math.Nextafter(0.1, 1)} {
+		h := NewHistogram()
+		h.Observe(v)
+		got := h.Quantile(0.5)
+		if got != v {
+			t.Errorf("boundary value %.17g: quantile %.17g should clamp to the exact single sample", v, got)
+		}
+	}
+	// Two samples one bin apart stay ordered and within tolerance.
+	h := NewHistogram()
+	lo, hi := 0.1, 0.1*binFactor*1.0001
+	h.Observe(lo)
+	h.Observe(hi)
+	p50, p100 := h.Quantile(0.5), h.Quantile(1)
+	if p50 > p100 {
+		t.Errorf("quantiles out of order at a bin boundary: %g > %g", p50, p100)
+	}
+	if p50 < lo || p50 > lo*binFactor*(1+1e-12) {
+		t.Errorf("p50 %g outside one bin of %g", p50, lo)
+	}
+}
+
+// TestHistogramMerge: merging shards is exactly equivalent to observing
+// the union — the per-phase scenario accumulators rely on this to
+// compose into whole-run summaries.
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	whole, shardA, shardB := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := 0; i < 20000; i++ {
+		v := rng.ExpFloat64() * 0.5
+		whole.Observe(v)
+		if i%2 == 0 {
+			shardA.Observe(v)
+		} else {
+			shardB.Observe(v)
+		}
+	}
+	shardA.Merge(shardB)
+	if shardA.Count() != whole.Count() {
+		t.Fatalf("merged count %d != whole %d", shardA.Count(), whole.Count())
+	}
+	// The sums were accumulated in different orders, so compare to float
+	// round-off rather than bit-exactly.
+	if math.Abs(shardA.Sum()-whole.Sum()) > 1e-9*whole.Sum() {
+		t.Fatalf("merged sum %g != whole %g", shardA.Sum(), whole.Sum())
+	}
+	if shardA.Min() != whole.Min() || shardA.Max() != whole.Max() {
+		t.Errorf("merged min/max %g/%g != whole %g/%g", shardA.Min(), shardA.Max(), whole.Min(), whole.Max())
+	}
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.999} {
+		if shardA.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q=%g: merged %g != whole %g", q, shardA.Quantile(q), whole.Quantile(q))
+		}
+	}
+	// Merging an empty (or nil) shard is a no-op.
+	before := shardA.Quantile(0.5)
+	shardA.Merge(NewHistogram())
+	shardA.Merge(nil)
+	if shardA.Quantile(0.5) != before {
+		t.Error("merging an empty histogram changed the quantiles")
+	}
+	// Merging INTO an empty histogram adopts the other side verbatim.
+	fresh := NewHistogram()
+	fresh.Merge(whole)
+	if fresh.Quantile(0.99) != whole.Quantile(0.99) || fresh.Min() != whole.Min() {
+		t.Error("merge into an empty histogram should adopt the source")
+	}
+}

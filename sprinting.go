@@ -29,6 +29,13 @@
 // provisioned budget backed by a §6 ultracapacitor buffer, arbitrated by
 // uncoordinated, token-permit, or probabilistic sprint coordination; see
 // cmd/fleetsim and the fleet_policy and rack_coordination experiments.
+//
+// SimulateScenario makes the fleet dynamic — the regime where sprinting
+// actually earns its keep: declarative load phases (flash-crowd steps,
+// diurnal sines, decaying ramps), ambient-temperature swings that
+// retarget every governor, heterogeneous node classes, and seeded node
+// failure/recovery churn, reported per phase. See FleetScenario and the
+// fleet_scenarios experiment.
 package sprinting
 
 import (
@@ -407,6 +414,85 @@ func SimulateFleetSweepContext(ctx context.Context, cfgs []FleetConfig, workers 
 	return engine.Map(ctx, cfgs,
 		func(ctx context.Context, cfg FleetConfig) (FleetMetrics, error) {
 			return fleet.Simulate(ctx, cfg)
+		}, engine.Options{Workers: workers})
+}
+
+// FleetScenario is a declarative dynamic-fleet description: load phases
+// with ramps (flat, linear, diurnal sine, exponential decay) against the
+// scenario's base rate, per-phase ambient-temperature shifts that
+// retarget every node's governor, heterogeneous node classes, and seeded
+// node failure/recovery churn. See ScenarioPhase, ScenarioNodeClass, and
+// ScenarioChurn; the type unmarshals directly from JSON (the format
+// cmd/fleetsim -scenario loads).
+type FleetScenario = fleet.Scenario
+
+// ScenarioPhase is one segment of a scenario timeline.
+type ScenarioPhase = fleet.Phase
+
+// ScenarioNodeClass declares one hardware class of a heterogeneous fleet.
+type ScenarioNodeClass = fleet.NodeClass
+
+// ScenarioChurn parameterizes seeded node failure/recovery.
+type ScenarioChurn = fleet.Churn
+
+// ScenarioLoadShape selects a phase's arrival-rate profile.
+type ScenarioLoadShape = fleet.LoadShape
+
+// Scenario load shapes.
+const (
+	// ScenarioFlat holds the phase's start factor throughout.
+	ScenarioFlat = fleet.ShapeFlat
+	// ScenarioRamp moves linearly between the start and end factors.
+	ScenarioRamp = fleet.ShapeRamp
+	// ScenarioSine oscillates between the factors (diurnal load).
+	ScenarioSine = fleet.ShapeSine
+	// ScenarioDecay moves exponentially between the factors (the tail of
+	// a flash crowd).
+	ScenarioDecay = fleet.ShapeDecay
+)
+
+// PhaseMetrics is one phase's slice of a scenario outcome: its offered /
+// completed / dropped counts, latency distribution, failover and breaker
+// activity, attributed to the phase each request arrived in.
+type PhaseMetrics = fleet.PhaseMetrics
+
+// ScenarioConfig pairs a base fleet configuration with the scenario
+// dynamics played over it. The base Config supplies the hardware and
+// dispatch/coordination policies; the scenario supersedes Requests and
+// ArrivalRatePerS (and Nodes, when classes are declared).
+type ScenarioConfig struct {
+	Fleet    FleetConfig
+	Scenario FleetScenario
+}
+
+// SimulateScenario runs the dynamic fleet simulation: the scenario's
+// phases shape the arrival rate and thermal environment over time while
+// churn fails and revives nodes, and the result adds a per-phase
+// breakdown (FleetMetrics.Phases) to the usual fleet metrics. Like
+// SimulateFleet, the outcome is a pure function of the configuration.
+func SimulateScenario(sc ScenarioConfig) (FleetMetrics, error) {
+	return SimulateScenarioContext(context.Background(), sc)
+}
+
+// SimulateScenarioContext is SimulateScenario under a caller context.
+func SimulateScenarioContext(ctx context.Context, sc ScenarioConfig) (FleetMetrics, error) {
+	return fleet.SimulateScenario(ctx, sc.Fleet, sc.Scenario)
+}
+
+// SimulateScenarioSweep evaluates every scenario concurrently on a
+// bounded worker pool (workers <= 0 selects GOMAXPROCS, 1 is exactly
+// serial), returning metrics in configuration order; every worker count
+// produces identical metrics.
+func SimulateScenarioSweep(scs []ScenarioConfig, workers int) ([]FleetMetrics, error) {
+	return SimulateScenarioSweepContext(context.Background(), scs, workers)
+}
+
+// SimulateScenarioSweepContext is SimulateScenarioSweep under a caller
+// context.
+func SimulateScenarioSweepContext(ctx context.Context, scs []ScenarioConfig, workers int) ([]FleetMetrics, error) {
+	return engine.Map(ctx, scs,
+		func(ctx context.Context, sc ScenarioConfig) (FleetMetrics, error) {
+			return fleet.SimulateScenario(ctx, sc.Fleet, sc.Scenario)
 		}, engine.Options{Workers: workers})
 }
 
