@@ -22,6 +22,13 @@ GO ?= go
 # used to merge green. Tighten locally with TOLERANCE=0.25.
 TOLERANCE ?= 1.5
 
+# The parallel-speedup floor for the sharded event loop: the decoupled
+# 8-worker run must beat its sequential base by this ratio. benchjson
+# only arms the check when the benchmark ran at GOMAXPROCS >= 4 — a
+# narrower runner cannot exhibit parallel speedup, so it prints a skip
+# note instead of a false verdict.
+MIN_SPEEDUP ?= BenchmarkFleetScaleDecoupledParallel=3
+
 .PHONY: all build test bench benchsmoke bench-json bench-gate bench-baseline vet fleet rack scenario
 
 all: build
@@ -48,7 +55,8 @@ bench-json:
 	$(GO) run ./cmd/benchjson < BENCH_fleet.txt > BENCH_fleet.json
 
 bench-gate: bench-json
-	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json BENCH_fleet.json -tolerance $(TOLERANCE)
+	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json BENCH_fleet.json \
+		-tolerance $(TOLERANCE) -min-speedup $(MIN_SPEEDUP)
 
 bench-baseline: bench-json
 	cp BENCH_fleet.json BENCH_baseline.json

@@ -176,6 +176,70 @@ func BenchmarkFleetScale(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetScaleParallel is BenchmarkFleetScale with the event loop
+// sharded eight ways. Sprint-aware dispatch couples the shards (every
+// arrival takes a fleet-wide argmin), so this runs the serialized-merge
+// engine — per-shard heaps and index segments replayed in exact global
+// order on one goroutine — and measures the sharding machinery's
+// overhead against the single-loop baseline, not a speedup. The
+// concurrent engine's speedup is BenchmarkFleetScaleDecoupledParallel.
+func BenchmarkFleetScaleParallel(b *testing.B) {
+	cfg := sprinting.DefaultFleetConfig(sprinting.FleetSprintAware)
+	cfg.Nodes = 10000
+	cfg.Requests = 1_000_000
+	cfg.Coordination = sprinting.RackTokenPermit
+	cfg.RackSize = 16
+	cfg.Workers = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sprinting.SimulateFleet(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetScaleDecoupled is the sequential baseline for the
+// concurrent engine: round-robin dispatch (static assignment, so shards
+// share no state) over the same 10k-node × 1M-request token-permit
+// fleet, on the classic single loop.
+func BenchmarkFleetScaleDecoupled(b *testing.B) {
+	cfg := sprinting.DefaultFleetConfig(sprinting.FleetRoundRobin)
+	cfg.Nodes = 10000
+	cfg.Requests = 1_000_000
+	cfg.Coordination = sprinting.RackTokenPermit
+	cfg.RackSize = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sprinting.SimulateFleet(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetScaleDecoupledParallel shards the decoupled run across
+// eight concurrent per-worker event loops — real goroutine parallelism
+// with byte-identical output. cmd/benchjson -compare reports the
+// speedup over BenchmarkFleetScaleDecoupled and can gate on it (the
+// gate arms only when GOMAXPROCS ≥ 4; a single-core runner measures
+// nothing but scheduling overhead).
+func BenchmarkFleetScaleDecoupledParallel(b *testing.B) {
+	cfg := sprinting.DefaultFleetConfig(sprinting.FleetRoundRobin)
+	cfg.Nodes = 10000
+	cfg.Requests = 1_000_000
+	cfg.Coordination = sprinting.RackTokenPermit
+	cfg.RackSize = 16
+	cfg.Workers = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sprinting.SimulateFleet(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRackSweep measures the rack power-domain machinery at
 // production scale: every coordination policy over a 96-node fleet in
 // racks of 16 (each rack provisioned for one concurrent sprinter) serving
@@ -219,6 +283,37 @@ func BenchmarkFleetScenario(b *testing.B) {
 			{Name: "recovery", DurationS: 60, Shape: sprinting.ScenarioDecay, StartFactor: 1.4, EndFactor: 0.5},
 		},
 		Churn: sprinting.ScenarioChurn{MTBFS: 2, MeanDowntimeS: 5},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sprinting.SimulateScenario(sprinting.ScenarioConfig{Fleet: cfg, Scenario: sc}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetScenarioHetero measures sprint-aware dispatch over a
+// heterogeneous fleet — the configuration that once fell back to an
+// O(N) whole-fleet rescan per arrival and now runs on per-class index
+// segments. Run with -benchmem: the allocs/op column is the regression
+// pin (steady state must not allocate per request, same contract as the
+// homogeneous path).
+func BenchmarkFleetScenarioHetero(b *testing.B) {
+	cfg := sprinting.DefaultFleetConfig(sprinting.FleetSprintAware)
+	cfg.Coordination = sprinting.RackTokenPermit
+	cfg.RackSize = 16
+	sc := sprinting.FleetScenario{
+		BaseRatePerS: 0.9 * 1000 / 2,
+		Phases: []sprinting.ScenarioPhase{
+			{Name: "baseline", DurationS: 60, StartFactor: 0.7},
+			{Name: "surge", DurationS: 40, StartFactor: 1.4},
+			{Name: "recovery", DurationS: 60, Shape: sprinting.ScenarioDecay, StartFactor: 1.4, EndFactor: 0.5},
+		},
+		Classes: []sprinting.ScenarioNodeClass{
+			{Name: "big", Count: 250, SprintWidth: 32, BudgetScale: 2, DrainScale: 2},
+			{Name: "small", Count: 750},
+		},
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

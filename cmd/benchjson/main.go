@@ -19,6 +19,18 @@
 // report; benchmarks only present in the new report are noted and pass.
 // Improvements never fail the gate — the baseline is a ceiling, not a
 // pin.
+//
+// Compare mode also reports, for every benchmark pair named
+// <base>Parallel / <base> in the new report, the parallel speedup ratio
+// (base ns/op ÷ parallel ns/op). A minimum can be gated:
+//
+//	benchjson -compare old.json new.json \
+//	    -min-speedup BenchmarkFleetScaleDecoupledParallel=3
+//
+// fails when that pair's speedup is under 3×. The requirement is only
+// enforced when the parallel result ran at GOMAXPROCS ≥ 4 (the -N name
+// suffix); on smaller runners parallel speedup is unmeasurable, so the
+// check prints a skip note instead of a false verdict.
 package main
 
 import (
@@ -29,6 +41,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -148,6 +161,82 @@ func compare(old, new Report, tolerance float64, out io.Writer) int {
 	return regressions
 }
 
+// minSpeedupFlag collects repeated -min-speedup name=ratio requirements.
+type minSpeedupFlag map[string]float64
+
+func (m minSpeedupFlag) String() string {
+	parts := make([]string, 0, len(m))
+	for name, r := range m {
+		parts = append(parts, fmt.Sprintf("%s=%g", name, r))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (m minSpeedupFlag) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=ratio, got %q", s)
+	}
+	r, err := strconv.ParseFloat(val, 64)
+	if err != nil || r <= 0 {
+		return fmt.Errorf("ratio must be a positive number, got %q", val)
+	}
+	m[name] = r
+	return nil
+}
+
+// reportSpeedups writes one line per <base>Parallel/<base> benchmark
+// pair in the report with the parallel speedup ratio, enforces any
+// -min-speedup requirements, and returns the number of failures. A
+// requirement is only armed when the parallel result ran at
+// GOMAXPROCS ≥ 4: a narrower host cannot exhibit parallel speedup, so
+// gating there would only report the runner's size, not a regression.
+func reportSpeedups(rep Report, min minSpeedupFlag, out io.Writer) int {
+	byName := map[string]Result{}
+	for _, r := range rep.Results {
+		byName[r.Name] = r
+	}
+	failures := 0
+	checked := map[string]bool{}
+	for _, r := range rep.Results {
+		base, ok := strings.CutSuffix(r.Name, "Parallel")
+		if !ok {
+			continue
+		}
+		b, ok := byName[base]
+		if !ok {
+			continue
+		}
+		ratio := b.NsPerOp / r.NsPerOp
+		fmt.Fprintf(out, "speedup  %-40s %.2fx over %s (GOMAXPROCS %d)\n", r.Name, ratio, base, r.Procs)
+		want, gated := min[r.Name]
+		if !gated {
+			continue
+		}
+		checked[r.Name] = true
+		switch {
+		case r.Procs < 4:
+			fmt.Fprintf(out, "skip     %-40s %.2fx minimum not enforced at GOMAXPROCS %d (< 4)\n", r.Name, want, r.Procs)
+		case ratio < want:
+			fmt.Fprintf(out, "SLOW     %-40s %.2fx under the required %.2fx over %s\n", r.Name, ratio, want, base)
+			failures++
+		}
+	}
+	missing := make([]string, 0, len(min))
+	for name := range min {
+		if !checked[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(out, "MISSING  %-40s -min-speedup target (or its base pair) absent from the report\n", name)
+		failures++
+	}
+	return failures
+}
+
 // splitArgs separates flag tokens from positional arguments so the
 // documented invocation order (`-compare old.json new.json -tolerance
 // 0.25`) parses even though the flag package stops at the first
@@ -156,7 +245,8 @@ func splitArgs(args []string) (flags, pos []string) {
 	for i := 0; i < len(args); i++ {
 		a := args[i]
 		switch {
-		case a == "-tolerance" || a == "--tolerance":
+		case a == "-tolerance" || a == "--tolerance",
+			a == "-min-speedup" || a == "--min-speedup":
 			flags = append(flags, a)
 			if i+1 < len(args) {
 				i++
@@ -176,6 +266,8 @@ func run(args []string, in io.Reader, out, errw io.Writer) int {
 	fs.SetOutput(errw)
 	doCompare := fs.Bool("compare", false, "compare two benchjson reports: -compare old.json new.json [-tolerance 0.25]")
 	tolerance := fs.Float64("tolerance", 0.25, "allowed fractional ns/op growth before -compare fails (0.25 = 25%)")
+	minSpeedup := minSpeedupFlag{}
+	fs.Var(minSpeedup, "min-speedup", "with -compare: require name=ratio parallel speedup for a <base>Parallel/<base> pair (repeatable; enforced only at GOMAXPROCS >= 4)")
 	flagArgs, pos := splitArgs(args)
 	if err := fs.Parse(flagArgs); err != nil {
 		return 2
@@ -203,12 +295,23 @@ func run(args []string, in io.Reader, out, errw io.Writer) int {
 			fmt.Fprintln(errw, "benchjson:", err)
 			return 1
 		}
-		if n := compare(old, newRep, *tolerance, out); n > 0 {
+		failures := compare(old, newRep, *tolerance, out)
+		slow := reportSpeedups(newRep, minSpeedup, out)
+		if failures > 0 {
 			fmt.Fprintf(errw, "benchjson: %d benchmark(s) regressed past %.0f%% — refresh BENCH_baseline.json only for intentional changes\n",
-				n, *tolerance*100)
+				failures, *tolerance*100)
+		}
+		if slow > 0 {
+			fmt.Fprintf(errw, "benchjson: %d parallel speedup requirement(s) unmet\n", slow)
+		}
+		if failures+slow > 0 {
 			return 1
 		}
 		return 0
+	}
+	if len(minSpeedup) > 0 {
+		fmt.Fprintln(errw, "benchjson: -min-speedup requires -compare")
+		return 2
 	}
 	if len(pos) != 0 {
 		fmt.Fprintf(errw, "benchjson: unexpected arguments %v (conversion mode reads stdin)\n", pos)

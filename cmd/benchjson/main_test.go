@@ -158,6 +158,90 @@ func TestCompareMissingAndAddedBenchmarks(t *testing.T) {
 	}
 }
 
+func procResult(name string, ns float64, procs int) Result {
+	return Result{Name: name, Procs: procs, Iterations: 1, NsPerOp: ns}
+}
+
+// TestCompareReportsSpeedups: every <base>Parallel/<base> pair in the
+// new report gets a speedup line, without any -min-speedup flag.
+func TestCompareReportsSpeedups(t *testing.T) {
+	rep := Report{Results: []Result{
+		procResult("BenchmarkFleetScaleDecoupled", 4e9, 8),
+		procResult("BenchmarkFleetScaleDecoupledParallel", 1e9, 8),
+	}}
+	old := writeReport(t, rep)
+	new := writeReport(t, rep)
+	out, _, code := runCompare(t, "-compare", old, new)
+	if code != 0 {
+		t.Fatalf("parity should exit 0, got %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "speedup  BenchmarkFleetScaleDecoupledParallel") || !strings.Contains(out, "4.00x") {
+		t.Errorf("compare should report the 4x parallel speedup:\n%s", out)
+	}
+}
+
+// TestCompareMinSpeedupGate: an unmet -min-speedup requirement fails the
+// gate when the parallel run had GOMAXPROCS ≥ 4; a met one passes.
+func TestCompareMinSpeedupGate(t *testing.T) {
+	slow := Report{Results: []Result{
+		procResult("BenchmarkFleetScaleDecoupled", 4e9, 8),
+		procResult("BenchmarkFleetScaleDecoupledParallel", 2e9, 8), // 2x
+	}}
+	old := writeReport(t, slow)
+	new := writeReport(t, slow)
+	out, errs, code := runCompare(t, "-compare", old, new,
+		"-min-speedup", "BenchmarkFleetScaleDecoupledParallel=3")
+	if code != 1 {
+		t.Fatalf("2x speedup under a 3x floor should exit 1, got %d\n%s%s", code, out, errs)
+	}
+	if !strings.Contains(out, "SLOW") {
+		t.Errorf("verdict should flag the slow pair:\n%s", out)
+	}
+	fast := Report{Results: []Result{
+		procResult("BenchmarkFleetScaleDecoupled", 4e9, 8),
+		procResult("BenchmarkFleetScaleDecoupledParallel", 1e9, 8),
+	}}
+	out, errs, code = runCompare(t, "-compare", writeReport(t, fast), writeReport(t, fast),
+		"-min-speedup", "BenchmarkFleetScaleDecoupledParallel=3")
+	if code != 0 {
+		t.Fatalf("4x speedup over a 3x floor should exit 0, got %d\n%s%s", code, out, errs)
+	}
+}
+
+// TestCompareMinSpeedupSkipsNarrowHosts: the requirement is honest about
+// where parallel speedup is measurable — below GOMAXPROCS 4 the check
+// prints a skip note and passes rather than reporting the runner's size
+// as a regression.
+func TestCompareMinSpeedupSkipsNarrowHosts(t *testing.T) {
+	rep := Report{Results: []Result{
+		procResult("BenchmarkFleetScaleDecoupled", 4e9, 1),
+		procResult("BenchmarkFleetScaleDecoupledParallel", 4.2e9, 1), // "slower" on 1 core
+	}}
+	out, errs, code := runCompare(t, "-compare", writeReport(t, rep), writeReport(t, rep),
+		"-min-speedup", "BenchmarkFleetScaleDecoupledParallel=3")
+	if code != 0 {
+		t.Fatalf("single-core run should skip the speedup floor, got exit %d\n%s%s", code, out, errs)
+	}
+	if !strings.Contains(out, "skip") || !strings.Contains(out, "GOMAXPROCS 1") {
+		t.Errorf("skip note should name the narrow host:\n%s", out)
+	}
+}
+
+// TestCompareMinSpeedupMissingTarget: a floor naming a benchmark absent
+// from the report fails loudly — a renamed benchmark must not silently
+// disarm its gate.
+func TestCompareMinSpeedupMissingTarget(t *testing.T) {
+	rep := Report{Results: []Result{procResult("BenchmarkFleetScale", 1e9, 8)}}
+	out, _, code := runCompare(t, "-compare", writeReport(t, rep), writeReport(t, rep),
+		"-min-speedup", "BenchmarkGoneParallel=3")
+	if code != 1 {
+		t.Fatalf("absent -min-speedup target should exit 1, got %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "MISSING") || !strings.Contains(out, "BenchmarkGoneParallel") {
+		t.Errorf("verdict should name the absent target:\n%s", out)
+	}
+}
+
 // TestCompareUsageErrors: wrong arity, bad files, and empty baselines
 // are loud failures, not silent passes.
 func TestCompareUsageErrors(t *testing.T) {
@@ -177,5 +261,11 @@ func TestCompareUsageErrors(t *testing.T) {
 	}
 	if _, _, code := runCompare(t, "stray-positional"); code != 2 {
 		t.Errorf("positional args without -compare should exit 2, got %d", code)
+	}
+	if _, _, code := runCompare(t, "-compare", good, good, "-min-speedup", "NoEquals"); code != 2 {
+		t.Errorf("malformed -min-speedup should exit 2, got %d", code)
+	}
+	if _, _, code := runCompare(t, "-min-speedup", "B=3"); code != 2 {
+		t.Errorf("-min-speedup without -compare should exit 2, got %d", code)
 	}
 }

@@ -111,6 +111,16 @@ type Config struct {
 	// whose mean/max remain exact (Metrics.ApproxQuantiles reports which
 	// mode ran).
 	ExactQuantiles bool
+	// Workers shards the event loop across this many per-worker loops,
+	// each owning a contiguous rack range with its own event heap and
+	// dispatch-index segments (see shard.go). 0 or 1 runs the classic
+	// single loop; any value is clamped to the number of rack groups.
+	// Results are byte-identical at every worker count: fully decoupled
+	// configurations (round-robin dispatch without Probabilistic rack
+	// admission, outside scenario mode) run their shards on parallel
+	// goroutines, while coupled policies replay the exact global event
+	// order through a serialized merge of the per-shard loops.
+	Workers int
 
 	// Coordination selects the rack sprint-arbitration policy; the zero
 	// value NoCoordination disables rack power domains entirely and the
@@ -229,6 +239,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fleet: hedged dispatch needs at least two nodes")
 	case c.Policy < RoundRobin || c.Policy > Hedged:
 		return fmt.Errorf("fleet: unknown policy %d", int(c.Policy))
+	case c.Workers < 0:
+		return fmt.Errorf("fleet: worker count must be non-negative")
 	case c.Coordination < NoCoordination || c.Coordination > Probabilistic:
 		return fmt.Errorf("fleet: unknown coordination %d", int(c.Coordination))
 	}
@@ -498,16 +510,24 @@ type sim struct {
 	// (and deflate throughput) under the Hedged policy.
 	lastDoneS float64
 
-	// idx is the O(log N) dispatch index for least-loaded and hedged
-	// selection; sprint-aware selection splits the fleet across busyIdx
-	// (backlog-drain keys, enumerated best-first) and idleIdx (governor
-	// budget-instant keys, threshold/argmin queries) — see index.go. All
-	// are nil under RoundRobin, which never reads node state, and in
-	// refDispatch mode.
-	idx     *dispatchIndex
-	busyIdx *dispatchIndex
-	idleIdx *dispatchIndex
-	useRef  bool
+	// segs are the dispatch-index segments: one tournament tree group per
+	// (shard range × class block) intersection, merged at query time so
+	// any segmentation reproduces the single-tree selection exactly — see
+	// shard.go. segIdx maps a node to its segment. Both are nil under
+	// RoundRobin, which never reads node state, and in refDispatch mode.
+	segs   []dspSeg
+	segIdx []int32
+	useRef bool
+
+	// cuts are the shard boundaries over node indexes ([0 c1 … N],
+	// rack-aligned); nil when the run is sequential. The coupled engine
+	// adds per-shard event heaps (shards, with shardIdx/rackShard routing
+	// pushes); the decoupled engine instead builds per-worker sims over
+	// the cut ranges (see shard.go).
+	cuts      []int
+	shards    []shardLoop
+	shardIdx  []int32
+	rackShard []int32
 
 	// latencies buffers completions for exact quantiles; hist streams
 	// them instead above exactQuantileCutoff (see finish).
@@ -571,26 +591,6 @@ func newSim(cfg Config, scen *scenarioRun) *sim {
 		}
 		s.nodes[i] = node{id: i, class: c, gov: s.classes[c].proto, alive: true}
 	}
-	// Heterogeneous sprint-aware scoring has no single static idle key
-	// (the projection constants differ per class), so it routes through
-	// the linear-scan reference selector; least-loaded and hedged keys
-	// are absolute drain instants, valid across classes, and keep the
-	// O(log N) index.
-	if !s.useRef {
-		switch cfg.Policy {
-		case LeastLoaded, Hedged:
-			s.idx = newDispatchIndex(cfg.Nodes)
-			s.idx.reset(math.Inf(-1)) // every node idle
-		case SprintAware:
-			if len(s.classes) > 1 {
-				s.useRef = true
-				break
-			}
-			s.busyIdx = newDispatchIndex(cfg.Nodes) // empty: no node busy
-			s.idleIdx = newDispatchIndex(cfg.Nodes)
-			s.idleIdx.reset(s.tKey(&s.nodes[0])) // full budgets: one shared key
-		}
-	}
 	if cfg.ExactQuantiles || cfg.Requests <= exactQuantileCutoff {
 		s.latencies = make([]float64, 0, cfg.Requests)
 	} else {
@@ -617,10 +617,18 @@ func newSim(cfg Config, scen *scenarioRun) *sim {
 			r.nominalLiveW += s.cl(&s.nodes[i]).nominalW
 		}
 		// A dedicated stream keeps Probabilistic admission independent of
-		// the arrival trace; the event loop is single-threaded and fully
-		// ordered, so draws replay identically at any worker count.
+		// the arrival trace; every engine applies events in the exact
+		// global order, so draws replay identically at any worker count.
 		s.rackRng = rand.New(rand.NewSource(cfg.Seed ^ 0x5deece66d))
 	}
+	// Shard layout and dispatch-index segments (see shard.go): the shard
+	// cuts partition the fleet rack-aligned, segments intersect them with
+	// the class blocks (sprint-aware idle keys are only comparable within
+	// one class, so a heterogeneous fleet gets one tree group per class
+	// and keeps O(log N) — the old whole-fleet reference fallback is
+	// gone). A sequential homogeneous run builds exactly one segment,
+	// today's single tree.
+	s.initShards()
 	return s
 }
 
@@ -642,15 +650,18 @@ func Simulate(ctx context.Context, cfg Config) (Metrics, error) {
 	// arrival fires first, matching the historical seq ordering in which
 	// every arrival was pushed before any dynamic event.
 	bursts := session.GenerateBursts(cfg.Requests, 1/s.rate, cfg.MeanWorkS, cfg.Seed)
-	s.reqs = make([]request, len(bursts))
+	s.reqs = getArena(len(bursts))
 	for i, b := range bursts {
 		s.reqs[i] = request{arrivalS: b.ArrivalS, workS: b.WorkS, doneS: -1, firstNode: -1}
 	}
-	return s.run(ctx)
+	m, err := s.start(ctx)
+	putArena(s.reqs)
+	return m, err
 }
 
 // run drives the merged arrival-cursor / event-heap loop to completion
-// and assembles the metrics.
+// and assembles the metrics — the classic sequential engine (Workers 0
+// or 1); start() picks it or one of the sharded engines in shard.go.
 func (s *sim) run(ctx context.Context) (Metrics, error) {
 	arrival := 0
 	for steps := 0; ; steps++ {
@@ -671,31 +682,39 @@ func (s *sim) run(ctx context.Context) (Metrics, error) {
 		}
 		ev := s.events.pop()
 		s.nowS = ev.atS
-		switch ev.kind {
-		case evHedge:
-			s.hedge(ev.req)
-		case evComplete:
-			// A gen mismatch marks a completion scheduled against an
-			// incarnation that has since failed; the copy was already
-			// destroyed (and failed over) by nodeFail.
-			if n := &s.nodes[ev.node]; n.gen == ev.gen {
-				s.complete(n)
-			}
-		case evSprintEnd:
-			s.sprintEnd(ev)
-		case evBreakerTrip:
-			s.breakerTrip(ev)
-		case evBreakerReset:
-			s.breakerReset(ev)
-		case evPhase:
-			s.phaseStart(int(ev.req))
-		case evNodeFail:
-			s.nodeFail()
-		case evNodeRecover:
-			s.nodeRecover(&s.nodes[ev.node])
-		}
+		s.handle(ev)
 	}
 	return s.finish(), nil
+}
+
+// handle applies one scheduled event; the caller has already set nowS to
+// the event's firing time. It is shared by every engine — sequential,
+// serialized-merge, and the per-worker parallel loops — so the handlers
+// themselves cannot tell which one is driving.
+func (s *sim) handle(ev event) {
+	switch ev.kind {
+	case evHedge:
+		s.hedge(ev.req)
+	case evComplete:
+		// A gen mismatch marks a completion scheduled against an
+		// incarnation that has since failed; the copy was already
+		// destroyed (and failed over) by nodeFail.
+		if n := &s.nodes[ev.node]; n.gen == ev.gen {
+			s.complete(n)
+		}
+	case evSprintEnd:
+		s.sprintEnd(ev)
+	case evBreakerTrip:
+		s.breakerTrip(ev)
+	case evBreakerReset:
+		s.breakerReset(ev)
+	case evPhase:
+		s.phaseStart(int(ev.req))
+	case evNodeFail:
+		s.nodeFail()
+	case evNodeRecover:
+		s.nodeRecover(&s.nodes[ev.node])
+	}
 }
 
 // drop records a request bounced for lack of capacity, attributing it to
@@ -794,21 +813,25 @@ func (s *sim) enqueue(n *node, c reqCopy) {
 // governor budget instant tKey; a node at queue capacity leaves the
 // trees entirely (it is only ever the drop-attribution fallback).
 func (s *sim) touch(n *node) {
+	if s.segs == nil {
+		return
+	}
+	sg := &s.segs[s.segIdx[n.id]]
+	lid := n.id - sg.lo
+	if sg.idx != nil {
+		sg.idx.update(lid, !n.alive || n.outstanding() >= s.cl(n).queueCap, n.drainKey())
+		return
+	}
 	switch {
-	case s.idx != nil:
-		s.idx.update(n.id, !n.alive || n.outstanding() >= s.cl(n).queueCap, n.drainKey())
-	case s.busyIdx != nil:
-		switch {
-		case !n.alive || n.outstanding() >= s.cl(n).queueCap:
-			s.busyIdx.update(n.id, true, math.Inf(1))
-			s.idleIdx.update(n.id, true, math.Inf(1))
-		case n.busy:
-			s.busyIdx.update(n.id, false, n.busyUntilS+n.queuedNaiveS)
-			s.idleIdx.update(n.id, true, math.Inf(1))
-		default:
-			s.busyIdx.update(n.id, true, math.Inf(1))
-			s.idleIdx.update(n.id, false, s.tKey(n))
-		}
+	case !n.alive || n.outstanding() >= s.cl(n).queueCap:
+		sg.busyIdx.update(lid, true, math.Inf(1))
+		sg.idleIdx.update(lid, true, math.Inf(1))
+	case n.busy:
+		sg.busyIdx.update(lid, false, n.busyUntilS+n.queuedNaiveS)
+		sg.idleIdx.update(lid, true, math.Inf(1))
+	default:
+		sg.busyIdx.update(lid, true, math.Inf(1))
+		sg.idleIdx.update(lid, false, s.tKey(n))
 	}
 }
 
@@ -1028,20 +1051,23 @@ func (s *sim) selectNode(workS float64, exclude int) *node {
 		// the reference scan should a future policy combination need it.
 		return s.refSelect(workS, exclude, start)
 	}
+	rot := start % len(s.nodes)
 	var best *node
 	if s.cfg.Policy == SprintAware {
-		best = s.sprintAwareMin(start, workS)
+		best = s.sprintAwareMin(rot, workS)
 	} else {
 		var exFull bool
 		var exD float64
+		var exSeg *dispatchIndex
 		if exclude >= 0 {
-			exFull, exD = s.idx.disable(exclude)
+			exSeg = s.segs[s.segIdx[exclude]].idx
+			exFull, exD = exSeg.disable(exclude - s.segs[s.segIdx[exclude]].lo)
 		}
-		if id := s.idx.argmin(start % len(s.nodes)); id >= 0 {
+		if id := s.segArgmin(rot); id >= 0 {
 			best = &s.nodes[id]
 		}
 		if exclude >= 0 {
-			s.idx.update(exclude, exFull, exD)
+			exSeg.update(exclude-s.segs[s.segIdx[exclude]].lo, exFull, exD)
 		}
 	}
 	if best == nil {
@@ -1055,83 +1081,103 @@ func (s *sim) selectNode(workS float64, exclude int) *node {
 }
 
 // sprintAwareMin finds the node minimizing the governed finish estimate
-// in O(log N) typical time. The idle side is resolved first: firstLE
-// names the first node in rotation order whose projected budget covers
-// the request at full width — the exact tie set of the linear scan,
-// since every such node scores startS + work/width with identical
-// floats — and when no budget suffices, the argmin of the budget
-// instant is the unique best idle candidate. Busy nodes are then
-// enumerated best-first by backlog-drain key with the admissible bound
-// key + work/width: the enumeration stops as soon as the bound exceeds
-// the incumbent, which with healthy budgets is immediately (the idle
-// champion already scores the bound's minimum), and only in a saturated
-// fleet of depleted budgets widens toward the old full scan.
-func (s *sim) sprintAwareMin(start int, workS float64) *node {
-	// Indexed sprint-aware selection runs only on a homogeneous fleet
-	// (newSim falls back to the reference scan otherwise), so class 0
-	// holds every projection constant.
-	cl := &s.classes[0]
+// in O(log N) typical time, merging the per-segment tree groups under
+// the total candidate order (score, rotation distance) — which is
+// exactly the linear scan's first-strict-minimum rotating tie-break, so
+// any segmentation (one tree, per-class trees, per-shard-per-class
+// trees) selects the same node.
+//
+// Within each segment the idle side is resolved first: firstLE names
+// the first node in local rotation order whose projected budget covers
+// the request at full width — the exact tie set of the linear scan
+// restricted to the segment, since every such node scores
+// startS + work/width with identical floats — and when no budget
+// suffices, the argmin of the budget instant is the unique best idle
+// candidate. (A segment spans one class, so its projection constants
+// are uniform; a 1-wide class serves every request in workS regardless
+// of budget, making all its idle nodes tie like the netW ≤ 0 case.)
+// Busy nodes are then enumerated best-first by backlog-drain key with
+// the admissible bound key + work/width: the enumeration stops as soon
+// as the bound exceeds the incumbent, which with healthy budgets is
+// immediately (the idle champion already scores the bound's minimum),
+// and only in a saturated fleet of depleted budgets widens toward the
+// old full scan.
+func (s *sim) sprintAwareMin(rot int, workS float64) *node {
 	nn := len(s.nodes)
-	rot := start % nn
-	wow := workS / cl.width
 	var best *node
 	var bestScore float64
 	bestRot := 0
-
-	// Idle champion. The threshold asks for a projected budget of
-	// net·(work/width) joules — capped at the full budget, which is the
-	// most any idle node can hold (beyond it every saturated node ties).
-	idle := -1
-	if cl.netW <= 0 {
-		// Sprinting is sustainable: every idle node serves at full width
-		// and ties exactly, so the rotation alone picks the champion.
-		idle = s.idleIdx.firstLE(rot, math.Inf(1))
-	} else {
-		needJ := cl.netW * wow
-		if needJ > cl.capJ {
-			needJ = cl.capJ
+	take := func(id int) {
+		n := &s.nodes[id]
+		sc := s.estFinishAt(n, workS)
+		rd := id - rot
+		if rd < 0 {
+			rd += nn
 		}
-		thresh := -needJ
-		if cl.drainW > 0 {
-			thresh = s.nowS - needJ/cl.drainW
-		}
-		if idle = s.idleIdx.firstLE(rot, thresh); idle < 0 {
-			idle = s.idleIdx.argmin(rot)
-		}
-	}
-	if idle >= 0 {
-		best = &s.nodes[idle]
-		bestScore = s.estFinishAt(best, workS)
-		bestRot = idle - rot
-		if bestRot < 0 {
-			bestRot += nn
+		if best == nil || sc < bestScore || (sc == bestScore && rd < bestRot) {
+			best, bestScore, bestRot = n, sc, rd
 		}
 	}
 
-	// Busy enumeration under the admissible bound.
-	t := s.busyIdx
-	t.resetFrontier()
-	for len(t.scratch) > 0 {
-		e := t.fpop()
-		if best != nil && e.d+wow > bestScore {
-			break // everything still frontiered is bounded above the winner
+	// Idle champions, one per segment. The threshold asks for a projected
+	// budget of net·(work/width) joules — capped at the full budget, the
+	// most any idle node of the class can hold (beyond it every saturated
+	// node ties). lrot is the global rotation restricted to the segment:
+	// the cyclic walk from rot crosses a contiguous block either as one
+	// run (entering at lo) or as [rot, hi) then [lo, rot).
+	for si := range s.segs {
+		sg := &s.segs[si]
+		cl := &s.classes[sg.class]
+		lrot := 0
+		if rot >= sg.lo && rot < sg.hi {
+			lrot = rot - sg.lo
 		}
-		if int(e.idx) >= t.size { // leaf: evaluate the true score
-			id := int(e.idx) - t.size
-			n := &s.nodes[id]
-			sc := s.estFinishAt(n, workS)
-			rd := id - rot
-			if rd < 0 {
-				rd += nn
+		idle := -1
+		if cl.netW <= 0 || cl.width <= 1 {
+			// Sprinting is sustainable (or widthless): every idle node of
+			// the class serves identically and ties exactly, so the
+			// rotation alone picks the segment's champion.
+			idle = sg.idleIdx.firstLE(lrot, math.Inf(1))
+		} else {
+			needJ := cl.netW * workS / cl.width
+			if needJ > cl.capJ {
+				needJ = cl.capJ
 			}
-			if best == nil || sc < bestScore || (sc == bestScore && rd < bestRot) {
-				best, bestScore, bestRot = n, sc, rd
+			thresh := -needJ
+			if cl.drainW > 0 {
+				thresh = s.nowS - needJ/cl.drainW
 			}
-			continue
+			if idle = sg.idleIdx.firstLE(lrot, thresh); idle < 0 {
+				idle = sg.idleIdx.argmin(lrot)
+			}
 		}
-		for c := 2 * e.idx; c <= 2*e.idx+1; c++ {
-			if !t.full[c] {
-				t.fpush(idxEnt{d: t.d[c], idx: c})
+		if idle >= 0 {
+			take(sg.lo + idle)
+		}
+	}
+
+	// Busy enumeration per segment under the shared incumbent and the
+	// segment class's admissible bound. The strict > keeps bound ties in
+	// play, so a later segment can still win an exact score tie on
+	// rotation distance — segment visit order never matters.
+	for si := range s.segs {
+		sg := &s.segs[si]
+		wow := workS / s.classes[sg.class].width
+		t := sg.busyIdx
+		t.resetFrontier()
+		for len(t.scratch) > 0 {
+			e := t.fpop()
+			if best != nil && e.d+wow > bestScore {
+				break // everything still frontiered is bounded above the winner
+			}
+			if int(e.idx) >= t.size { // leaf: evaluate the true score
+				take(sg.lo + int(e.idx) - t.size)
+				continue
+			}
+			for c := 2 * e.idx; c <= 2*e.idx+1; c++ {
+				if !t.full[c] {
+					t.fpush(idxEnt{d: t.d[c], idx: c})
+				}
 			}
 		}
 	}
@@ -1175,14 +1221,31 @@ func (s *sim) refSelect(workS float64, exclude, start int) *node {
 	return best
 }
 
-// finish assembles the metrics.
+// finish assembles the metrics. Every float it reports is reduced in a
+// canonical order — latency mean over the request arena in arena order,
+// energy and throttled time in node/rack order — never in event-
+// completion order, so the sequential and sharded engines produce
+// bit-identical sums even where float addition does not commute.
 func (s *sim) finish() Metrics {
 	m := s.m
 	m.SimS = s.lastDoneS
+	// The latency mean is summed over the arena rather than the
+	// histogram/buffer: completion order differs across engines (and the
+	// exact path historically summed after sorting), while arena order is
+	// the arrival trace — a pure function of the configuration.
+	sum, cnt := 0.0, 0
+	for i := range s.reqs {
+		if r := &s.reqs[i]; r.doneS >= 0 {
+			sum += r.doneS - r.arrivalS
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		m.MeanS = sum / float64(cnt)
+	}
 	if s.hist != nil {
 		m.ApproxQuantiles = true
 		if s.hist.Count() > 0 {
-			m.MeanS = s.hist.Mean()
 			m.P50S = s.hist.Quantile(0.50)
 			m.P95S = s.hist.Quantile(0.95)
 			m.P99S = s.hist.Quantile(0.99)
@@ -1192,11 +1255,6 @@ func (s *sim) finish() Metrics {
 	} else {
 		sort.Float64s(s.latencies)
 		if n := len(s.latencies); n > 0 {
-			sum := 0.0
-			for _, l := range s.latencies {
-				sum += l
-			}
-			m.MeanS = sum / float64(n)
 			m.P50S = series.Quantile(s.latencies, 0.50)
 			m.P95S = series.Quantile(s.latencies, 0.95)
 			m.P99S = series.Quantile(s.latencies, 0.99)
@@ -1236,6 +1294,9 @@ func (s *sim) finish() Metrics {
 			r.stats.ID = r.id
 			r.stats.Nodes = r.size
 			m.Racks[i] = r.stats
+			// Reduced here in rack order (not accumulated in trip order)
+			// so the sharded engines report the identical float.
+			m.RackThrottledS += r.stats.ThrottledS
 		}
 		for i := range s.nodes {
 			m.Racks[s.nodes[i].rackID].EnergyJ += s.nodes[i].stats.EnergyJ

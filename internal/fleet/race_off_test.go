@@ -6,3 +6,7 @@ package fleet
 // the allocation-budget test skips under it (instrumentation perturbs
 // allocation counts).
 const raceEnabled = false
+
+// equivalenceSeeds drives the sharded-vs-sequential matrix; the
+// uninstrumented build affords the full seed sweep.
+var equivalenceSeeds = []int64{1, 2, 3}

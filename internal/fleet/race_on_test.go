@@ -6,3 +6,8 @@ package fleet
 // the allocation-budget test skips under it (instrumentation perturbs
 // allocation counts).
 const raceEnabled = true
+
+// equivalenceSeeds drives the sharded-vs-sequential matrix; under the
+// ~10× race-detector slowdown one seed exercises every concurrent code
+// path without stalling CI (the full sweep runs in the regular build).
+var equivalenceSeeds = []int64{1}

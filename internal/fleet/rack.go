@@ -350,6 +350,5 @@ func (s *sim) breakerReset(ev event) {
 	r.accrue(s.nowS)
 	r.tripped = false
 	r.stats.ThrottledS += s.cfg.BreakerRecoveryS
-	s.m.RackThrottledS += s.cfg.BreakerRecoveryS
 	s.scheduleTrip(r)
 }

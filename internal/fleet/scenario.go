@@ -497,8 +497,11 @@ func clampF(v, lo, hi float64) float64 {
 // generate produces the scenario's time-sorted arrival trace: a
 // piecewise-nonstationary Poisson process (the gap distribution tracks
 // the phase factor at the instant the gap begins) with the session
-// generator's clamping conventions, from a dedicated seeded stream.
+// generator's clamping conventions, from a dedicated seeded stream. The
+// trace is built in a pooled arena (the caller returns it after the
+// run), so sweep drivers reuse one allocation across sweep points.
 func (sc Scenario) generate(cfg Config, baseRate float64) (reqs []request, offered []int, truncated bool) {
+	reqs = getArena(0)
 	rng := rand.New(rand.NewSource(cfg.Seed ^ scenarioSeed))
 	totalS := 0.0
 	for _, p := range sc.Phases {
@@ -549,13 +552,16 @@ func SimulateScenario(ctx context.Context, cfg Config, sc Scenario) (Metrics, er
 	}
 	reqs, offered, truncated := sc.generate(cfg, baseRate)
 	if truncated {
+		putArena(reqs)
 		return Metrics{}, fmt.Errorf("fleet: scenario exceeds its %d-request cap before the timeline ends (base rate %.3g req/s); raise MaxRequests or lower the rate", sc.MaxRequests, baseRate)
 	}
 	if len(reqs) == 0 {
+		putArena(reqs)
 		return Metrics{}, fmt.Errorf("fleet: scenario generated no arrivals (rate %.3g req/s too low for its duration)", baseRate)
 	}
 	cfg.Requests = len(reqs)
 	if err := cfg.Validate(); err != nil {
+		putArena(reqs)
 		return Metrics{}, err
 	}
 
@@ -588,7 +594,9 @@ func SimulateScenario(ctx context.Context, cfg Config, sc Scenario) (Metrics, er
 			s.push(event{atS: at, kind: evNodeFail})
 		}
 	}
-	return s.run(ctx)
+	m, err := s.start(ctx)
+	putArena(s.reqs)
+	return m, err
 }
 
 // phaseStart enters phase i: the accounting cursor advances and, when the

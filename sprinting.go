@@ -368,6 +368,13 @@ func DefaultRackBudgetW(rackSize int, node GovernorConfig) float64 {
 // exact) so warehouse-scale runs stay allocation-free — set
 // ExactQuantiles to opt back into exact buffering at any scale.
 // FleetMetrics.ApproxQuantiles reports which mode ran.
+//
+// Workers shards the simulation's event loop across per-worker loops
+// with racks as the shard boundary. The result is byte-identical at
+// every worker count: decoupled configurations (round-robin dispatch
+// without the probabilistic admission draw, outside scenario mode) run
+// the shards concurrently on real goroutines, and coupled ones replay
+// the exact global event order through a deterministic K-way merge.
 type FleetConfig = fleet.Config
 
 // FleetMetrics is the outcome of a fleet simulation: throughput, latency
@@ -388,9 +395,12 @@ func DefaultFleetConfig(p FleetPolicy) FleetConfig { return fleet.DefaultConfig(
 // policy. The result is a pure function of the configuration.
 //
 // The simulator is built for warehouse scale: dispatch is O(log N) per
-// arrival over an incrementally maintained index, the event loop does
+// arrival over an incrementally maintained index (segmented per node
+// class, so heterogeneous fleets keep the bound), the event loop does
 // not allocate per request, and a 10,000-node fleet serves a million
-// requests in single-digit seconds (see BenchmarkFleetScale).
+// requests in single-digit seconds (see BenchmarkFleetScale). Setting
+// FleetConfig.Workers shards the loop itself — byte-identically at any
+// worker count (see BenchmarkFleetScaleDecoupledParallel).
 func SimulateFleet(cfg FleetConfig) (FleetMetrics, error) {
 	return SimulateFleetContext(context.Background(), cfg)
 }
