@@ -3,7 +3,9 @@
 # simulation side by side across dispatch policies; `make rack` compares
 # the rack-level sprint-coordination policies on a tightly provisioned
 # shared circuit; `make scenario` plays the flash-crowd scenario across
-# every policy; `make benchsmoke` runs every benchmark exactly once
+# every policy; `make trace` replays it with the flight recorder
+# attached, writing TRACE_flashcrowd.jsonl and printing the regret
+# summary; `make benchsmoke` runs every benchmark exactly once
 # (the CI guard that keeps the fleet and rack subsystems exercised,
 # bounded by -timeout so a hung scale bench fails loudly instead of
 # stalling the job); `make bench-json` runs the fleet-scale benchmarks
@@ -29,7 +31,7 @@ TOLERANCE ?= 1.5
 # note instead of a false verdict.
 MIN_SPEEDUP ?= BenchmarkFleetScaleDecoupledParallel=3
 
-.PHONY: all build test bench benchsmoke bench-json bench-gate bench-baseline vet fleet rack scenario
+.PHONY: all build test bench benchsmoke bench-json bench-gate bench-baseline vet fleet rack scenario trace
 
 all: build
 
@@ -49,7 +51,7 @@ benchsmoke:
 	$(GO) test -bench=. -benchtime=1x -timeout 10m -run=^$$ .
 
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkFleetScale|BenchmarkFleetSweep|BenchmarkRackSweep|BenchmarkFleetScenario' \
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetScale|BenchmarkFleetSweep|BenchmarkRackSweep|BenchmarkFleetScenario|BenchmarkFleetTrace' \
 		-benchmem -benchtime=1x -timeout 10m . > BENCH_fleet.txt
 	cat BENCH_fleet.txt
 	$(GO) run ./cmd/benchjson < BENCH_fleet.txt > BENCH_fleet.json
@@ -70,3 +72,8 @@ rack:
 
 scenario:
 	$(GO) run ./cmd/fleetsim -scenario examples/scenarios/flashcrowd.json -policy all
+
+trace:
+	$(GO) run ./cmd/fleetsim -scenario examples/scenarios/flashcrowd.json \
+		-policy sprint-aware -coordination token-permit \
+		-trace TRACE_flashcrowd.jsonl -trace-level full -trace-summary

@@ -240,6 +240,51 @@ func BenchmarkFleetScaleDecoupledParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetTrace measures the flight recorder's on-path cost: a
+// sprint-aware token-permit fleet with full-level tracing, top-3
+// counterfactual probes, and 5 s timeline windows. Tracing forces the
+// serialized engine and buffers the whole recording in memory, so this
+// is the price of observability — compare against BenchmarkFleetTraceOff
+// to isolate it.
+func BenchmarkFleetTrace(b *testing.B) {
+	cfg := sprinting.DefaultFleetConfig(sprinting.FleetSprintAware)
+	cfg.Nodes = 1000
+	cfg.Requests = 100_000
+	cfg.Coordination = sprinting.RackTokenPermit
+	cfg.RackSize = 16
+	cfg.Trace = sprinting.TraceConfig{Level: sprinting.TraceFull, TopK: 3, WindowS: 5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sprinting.SimulateFleetTraced(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetTraceOff is the paired control: the identical config
+// through the plain entry point, which ignores FleetConfig.Trace
+// entirely — the recorder hooks compile to nil checks. The delta to
+// BenchmarkFleetTrace is the recorder's cost; the delta to a
+// pre-recorder baseline of this benchmark is the zero-cost-when-off
+// contract (the allocation half of which TestSimulateSteadyStateAllocations
+// pins exactly).
+func BenchmarkFleetTraceOff(b *testing.B) {
+	cfg := sprinting.DefaultFleetConfig(sprinting.FleetSprintAware)
+	cfg.Nodes = 1000
+	cfg.Requests = 100_000
+	cfg.Coordination = sprinting.RackTokenPermit
+	cfg.RackSize = 16
+	cfg.Trace = sprinting.TraceConfig{Level: sprinting.TraceFull, TopK: 3, WindowS: 5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sprinting.SimulateFleet(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRackSweep measures the rack power-domain machinery at
 // production scale: every coordination policy over a 96-node fleet in
 // racks of 16 (each rack provisioned for one concurrent sprinter) serving

@@ -28,6 +28,7 @@
 //	    -coordination token-permit -rack-size 16 # warehouse scale, seconds
 //	fleetsim -nodes 10000 -requests 1000000 -shard-workers 8 # sharded loop
 //	fleetsim -nodes 10000 -requests 1000000 -cpuprofile fleet.pprof
+//	fleetsim -policy sprint-aware -trace out.jsonl -trace-summary
 //
 // Traces above 131072 requests stream latencies through a log-scale
 // histogram (quantiles within 1.81%, mean/max exact) unless
@@ -46,6 +47,21 @@
 //
 // A minimal scenario file:
 //
+// With -trace file.jsonl the run attaches the flight recorder and writes
+// the recording as JSONL: a meta header, then every dispatch decision
+// (winning key, top-k rejected alternatives with counterfactual finish
+// times), lifecycle event (hedges, breaker trips, churn, sprints), and
+// rolling timeline sample, in exact global event order — byte-identical
+// at any -shard-workers count. Tracing records a single run, so it
+// requires one concrete -policy and -coordination; -trace-level picks
+// decisions (default) or full, -counterfactual-k and -timeline-window-s
+// tune the recorder, and -trace-summary prints the top regret decisions
+// and a per-window p99 sparkline after the report:
+//
+//	fleetsim -policy sprint-aware -trace out.jsonl -counterfactual-k 5
+//	fleetsim -scenario flashcrowd.json -coordination token-permit \
+//	    -trace flash.jsonl -trace-level full -trace-summary
+//
 //	{
 //	  "base_rate_per_s": 7.2,
 //	  "phases": [
@@ -59,6 +75,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -80,14 +97,21 @@ import (
 // each run down per phase (counts attributed to the phase a request
 // arrived in) before the overall line.
 func runScenario(ctx context.Context, path string, scen sprinting.FleetScenario, scs []sprinting.ScenarioConfig, workers int, stdout, stderr io.Writer) int {
-	totalS := 0.0
-	for _, p := range scen.Phases {
-		totalS += p.DurationS
-	}
 	metrics, err := sprinting.SimulateScenarioSweepContext(ctx, scs, workers)
 	if err != nil {
 		fmt.Fprintln(stderr, "fleetsim:", err)
 		return 1
+	}
+	printScenarioReport(path, scen, metrics, stdout)
+	return 0
+}
+
+// printScenarioReport renders the per-phase breakdown for each run; the
+// traced path shares it with the sweep.
+func printScenarioReport(path string, scen sprinting.FleetScenario, metrics []sprinting.FleetMetrics, stdout io.Writer) {
+	totalS := 0.0
+	for _, p := range scen.Phases {
+		totalS += p.DurationS
 	}
 	churn := ""
 	if scen.Churn.MTBFS > 0 {
@@ -121,7 +145,56 @@ func runScenario(ctx context.Context, path string, scen sprinting.FleetScenario,
 		fmt.Fprintln(stdout)
 	}
 	fmt.Fprintln(stdout, "\nphases attribute requests to their arrival window; sprint-aware dispatch rides a flash crowd on remaining thermal headroom")
+}
+
+// writeTrace serializes the recording as JSONL; the file is the durable
+// artifact, so every error on the way to disk is fatal to the run.
+func writeTrace(path string, tr *sprinting.FleetTrace, stderr io.Writer) int {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "fleetsim:", err)
+		return 1
+	}
+	bw := bufio.NewWriter(f)
+	err = tr.WriteJSONL(bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "fleetsim: %s: %v\n", path, err)
+		return 1
+	}
 	return 0
+}
+
+// printTraceSummary condenses the recording for a human: where the
+// dispatcher left the most latency on the table (regret against the
+// counterfactual best rejected alternative), and how the p99 tail moved
+// window by window.
+func printTraceSummary(stdout io.Writer, path string, tr *sprinting.FleetTrace) {
+	fmt.Fprintf(stdout, "\ntrace %s: %d records (%d decisions, %d samples, level %s)\n",
+		path, len(tr.Records), len(tr.Decisions()), len(tr.Samples()), tr.Meta.Level)
+	samples := tr.Samples()
+	p99 := make([]float64, len(samples))
+	for i, s := range samples {
+		p99[i] = s.P99S
+	}
+	fmt.Fprintf(stdout, "p99 per %.0fs window: %s\n", tr.Meta.WindowS, sprinting.TraceSparkline(p99))
+	top := tr.TopRegret(5)
+	if len(top) == 0 {
+		fmt.Fprintln(stdout, "no regret resolved: every counterfactual alternative was still pending at the end of the trace")
+		return
+	}
+	fmt.Fprintln(stdout, "top regret decisions (realized completion vs best rejected alternative):")
+	fmt.Fprintf(stdout, "%10s %-10s %8s %6s %10s %12s %10s\n",
+		"at (s)", "kind", "req", "node", "best alt", "done (s)", "regret (s)")
+	for _, r := range top {
+		fmt.Fprintf(stdout, "%10.3f %-10s %8d %6d %10d %12.3f %10.3f\n",
+			r.AtS, r.Kind, r.Req, r.Node, r.BestAlt, r.DoneS, r.RegretS)
+	}
 }
 
 func main() {
@@ -160,6 +233,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		recoveryS    = fs.Float64("recovery-s", 0, "breaker recovery window in seconds (0 = default 2)")
 
 		scenarioPath = fs.String("scenario", "", "JSON scenario file: load phases/ramps, ambient swings, node classes, churn (supersedes -requests and -rate)")
+
+		tracePath       = fs.String("trace", "", "attach the flight recorder and write the recording as JSONL to this file (records one run: pick a single -policy and -coordination)")
+		traceLevel      = fs.String("trace-level", "decisions", "flight-recorder capture level: decisions|full (needs -trace)")
+		counterfactualK = fs.Int("counterfactual-k", 0, "record this many rejected alternatives per decision and probe their counterfactual finish times (0 = default 3; needs -trace)")
+		timelineWindowS = fs.Float64("timeline-window-s", 0, "timeline sample window in seconds (0 = default 5; needs -trace)")
+		traceSummary    = fs.Bool("trace-summary", false, "after the report, print the top regret decisions and a per-window p99 sparkline (needs -trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -194,6 +273,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 		}
+	}
+	for _, f := range []string{"trace-level", "counterfactual-k", "timeline-window-s", "trace-summary"} {
+		if set[f] && *tracePath == "" {
+			fmt.Fprintf(stderr, "fleetsim: -%s parameterizes the flight recorder (add -trace out.jsonl)\n", f)
+			return 2
+		}
+	}
+	if *tracePath != "" && (*policy == "all" || *coordination == "all") {
+		fmt.Fprintf(stderr, "fleetsim: -trace records a single run; pick one -policy and one -coordination (got -policy %s, -coordination %s)\n",
+			*policy, *coordination)
+		return 2
+	}
+	var traceCfg sprinting.TraceConfig
+	if *tracePath != "" {
+		lvl, err := sprinting.ParseTraceLevel(*traceLevel)
+		if err != nil {
+			fmt.Fprintln(stderr, "fleetsim:", err)
+			return 2
+		}
+		if lvl == sprinting.TraceOff {
+			fmt.Fprintln(stderr, "fleetsim: -trace-level off contradicts -trace (drop -trace to disable the recorder)")
+			return 2
+		}
+		traceCfg = sprinting.TraceConfig{Level: lvl, TopK: *counterfactualK, WindowS: *timelineWindowS}
 	}
 
 	var policies []sprinting.FleetPolicy
@@ -259,8 +362,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				cfg.SprintPermits = *permits
 				cfg.BreakerRecoveryS = *recoveryS
 				cfg.Workers = *shardWorkers
+				cfg.Trace = traceCfg
 				scs = append(scs, sprinting.ScenarioConfig{Fleet: cfg, Scenario: scen})
 			}
+		}
+		if *tracePath != "" {
+			m, tr, err := sprinting.SimulateScenarioTracedContext(ctx, scs[0])
+			if err != nil {
+				fmt.Fprintln(stderr, "fleetsim:", err)
+				return 1
+			}
+			if code := writeTrace(*tracePath, tr, stderr); code != 0 {
+				return code
+			}
+			printScenarioReport(*scenarioPath, scen, []sprinting.FleetMetrics{m}, stdout)
+			if *traceSummary {
+				printTraceSummary(stdout, *tracePath, tr)
+			}
+			return 0
 		}
 		return runScenario(ctx, *scenarioPath, scen, scs, *workers, stdout, stderr)
 	}
@@ -284,6 +403,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			cfg.SprintPermits = *permits
 			cfg.BreakerRecoveryS = *recoveryS
 			cfg.Workers = *shardWorkers
+			cfg.Trace = traceCfg
 			cfgs = append(cfgs, cfg)
 		}
 	}
@@ -304,10 +424,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "fleet: %d nodes, %d requests at %.2f req/s (mean work %.1f s, seed %d)\n\n",
 		*nodes, *requests, cfgs[0].EffectiveRatePerS(), *work, *seed)
-	metrics, err := sprinting.SimulateFleetSweepContext(ctx, cfgs, *workers)
-	if err != nil {
-		fmt.Fprintln(stderr, "fleetsim:", err)
-		return 1
+	var (
+		metrics []sprinting.FleetMetrics
+		tr      *sprinting.FleetTrace
+	)
+	if *tracePath != "" {
+		m, rec, err := sprinting.SimulateFleetTracedContext(ctx, cfgs[0])
+		if err != nil {
+			fmt.Fprintln(stderr, "fleetsim:", err)
+			return 1
+		}
+		if code := writeTrace(*tracePath, rec, stderr); code != 0 {
+			return code
+		}
+		metrics, tr = []sprinting.FleetMetrics{m}, rec
+	} else {
+		var err error
+		metrics, err = sprinting.SimulateFleetSweepContext(ctx, cfgs, *workers)
+		if err != nil {
+			fmt.Fprintln(stderr, "fleetsim:", err)
+			return 1
+		}
 	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
@@ -337,6 +474,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				100*m.PermitDenialRate, m.Dropped, m.EnergyPerRequestJ)
 		}
 		fmt.Fprintln(stdout, "\nuncoordinated sprints can trip the rack breaker; token permits make trips impossible by construction")
+		if tr != nil && *traceSummary {
+			printTraceSummary(stdout, *tracePath, tr)
+		}
 		return 0
 	}
 
@@ -353,5 +493,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	fmt.Fprintln(stdout, "\nsprint-aware dispatch routes on thermal headroom; hedging trades duplicated energy for tail latency")
+	if tr != nil && *traceSummary {
+		printTraceSummary(stdout, *tracePath, tr)
+	}
 	return 0
 }

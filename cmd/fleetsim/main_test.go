@@ -314,3 +314,97 @@ func TestScenarioClassNodesConflict(t *testing.T) {
 		t.Errorf("class-derived fleet should report 8 nodes (exit %d):\n%s", code, out)
 	}
 }
+
+// TestTraceFlagCoherence extends the coherence contract to the flight
+// recorder: every knob that parameterizes it demands -trace, and -trace
+// itself demands a single concrete policy × coordination.
+func TestTraceFlagCoherence(t *testing.T) {
+	cases := [][]string{
+		{"-trace-level", "full"}, // recorder knobs without -trace
+		{"-counterfactual-k", "5"},
+		{"-timeline-window-s", "2"},
+		{"-trace-summary"},
+		{"-trace", "out.jsonl"}, // default -policy all
+		{"-trace", "out.jsonl", "-policy", "sprint-aware", "-coordination", "all"},
+		{"-trace", "out.jsonl", "-policy", "hedged", "-trace-level", "off"},
+		{"-trace", "out.jsonl", "-policy", "hedged", "-trace-level", "bogus"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(context.Background(), args, &out, &errb); code != 2 {
+			t.Errorf("%v: want exit 2, got %d (stderr: %s)", args, code, errb.String())
+		}
+	}
+}
+
+// TestTraceOutput drives -trace end to end: the JSONL file leads with the
+// meta header, carries one record per line, and -trace-summary appends
+// the regret table and the p99 sparkline to the report.
+func TestTraceOutput(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "out.jsonl")
+	out, code := runOut(t, "-nodes", "4", "-requests", "300", "-policy", "sprint-aware",
+		"-trace", p, "-trace-level", "full", "-counterfactual-k", "2", "-timeline-window-s", "2",
+		"-trace-summary")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatalf("trace file missing: %v", err)
+	}
+	if !bytes.HasPrefix(data, []byte(`{"t":"meta"`)) {
+		t.Errorf("trace does not lead with the meta header: %.80s", data)
+	}
+	lines := bytes.Count(data, []byte("\n"))
+	if lines < 300 {
+		t.Errorf("trace has %d lines; want at least one per request", lines)
+	}
+	for _, want := range []string{"trace " + p, "p99 per 2s window:", "regret"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// The report table itself is unchanged by tracing.
+	plain, code := runOut(t, "-nodes", "4", "-requests", "300", "-policy", "sprint-aware")
+	if code != 0 {
+		t.Fatalf("plain exit %d", code)
+	}
+	if !strings.HasPrefix(out, plain[:strings.Index(plain, "\nsprint-aware dispatch routes")]) {
+		t.Errorf("traced report diverges from the untraced one:\n%s\n---\n%s", out, plain)
+	}
+}
+
+// TestTraceScenarioOutput: tracing composes with -scenario — the per-phase
+// report still renders, and the trace file carries the phase annotations.
+func TestTraceScenarioOutput(t *testing.T) {
+	sp := writeScenario(t, flashScenario)
+	p := filepath.Join(t.TempDir(), "flash.jsonl")
+	out, code := runOut(t, "-scenario", sp, "-policy", "sprint-aware", "-coordination", "token-permit",
+		"-trace", p, "-trace-summary")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"baseline", "surge", "recovery", "overall:", "p99 per 5s window:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatalf("trace file missing: %v", err)
+	}
+	for _, want := range []string{`"kind":"phase-start"`, `"name":"surge"`, `"kind":"node-fail"`} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Errorf("scenario trace missing %s", want)
+		}
+	}
+}
+
+// TestTraceUnwritablePathFails: a trace destination that cannot be
+// created fails the run after simulation with exit 1.
+func TestTraceUnwritablePathFails(t *testing.T) {
+	if _, code := runOut(t, "-nodes", "4", "-requests", "100", "-policy", "sprint-aware",
+		"-trace", filepath.Join(t.TempDir(), "no", "such", "dir", "out.jsonl")); code != 1 {
+		t.Errorf("unwritable trace path should exit 1, got %d", code)
+	}
+}

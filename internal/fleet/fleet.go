@@ -66,6 +66,7 @@ import (
 	"sprinting/internal/governor"
 	"sprinting/internal/series"
 	"sprinting/internal/session"
+	"sprinting/internal/trace"
 )
 
 // exactQuantileCutoff is the trace length up to which finish() buffers
@@ -121,6 +122,12 @@ type Config struct {
 	// goroutines, while coupled policies replay the exact global event
 	// order through a serialized merge of the per-shard loops.
 	Workers int
+
+	// Trace configures the flight recorder (see TraceConfig in trace.go).
+	// Simulate and SimulateScenario ignore it entirely — recording
+	// requires the SimulateTraced / SimulateScenarioTraced entry points,
+	// so the plain hot path pays nothing for the field's existence.
+	Trace TraceConfig
 
 	// Coordination selects the rack sprint-arbitration policy; the zero
 	// value NoCoordination disables rack power domains entirely and the
@@ -243,6 +250,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fleet: worker count must be non-negative")
 	case c.Coordination < NoCoordination || c.Coordination > Probabilistic:
 		return fmt.Errorf("fleet: unknown coordination %d", int(c.Coordination))
+	case c.Trace.Level < trace.LevelOff || c.Trace.Level > trace.LevelFull:
+		return fmt.Errorf("fleet: unknown trace level %d", int(c.Trace.Level))
+	case c.Trace.TopK < 0:
+		return fmt.Errorf("fleet: trace top-k must be non-negative")
+	case c.Trace.WindowS < 0:
+		return fmt.Errorf("fleet: trace window must be non-negative")
 	}
 	if c.Coordination != NoCoordination {
 		switch {
@@ -534,6 +547,13 @@ type sim struct {
 	latencies []float64
 	hist      *series.Histogram
 	m         Metrics
+
+	// rec is the flight recorder, nil unless this run came through a
+	// traced entry point; every hook in the engine is a nil check on it
+	// and the recorder only ever reads simulation state (see trace.go).
+	// A non-nil recorder forces the serialized engines (parallelOK), so
+	// the record stream replays the exact global event order.
+	rec *recorder
 }
 
 // baseClass derives the single homogeneous node class of a plain (non-
@@ -566,14 +586,17 @@ func (s *sim) cl(n *node) *nodeClass { return &s.classes[n.class] }
 // newSim assembles the simulation state shared by Simulate and
 // SimulateScenario; cfg must already be defaulted and validated, and
 // cfg.Requests must be the final trace length (quantile-mode selection
-// reads it). A non-nil scen supplies the classes and per-node assignment.
-func newSim(cfg Config, scen *scenarioRun) *sim {
+// reads it). A non-nil scen supplies the classes and per-node assignment;
+// a non-nil rec attaches the flight recorder (it must be set before
+// initShards runs, which reads it through parallelOK).
+func newSim(cfg Config, scen *scenarioRun, rec *recorder) *sim {
 	s := &sim{
 		cfg:        cfg,
 		rate:       cfg.EffectiveRatePerS(),
 		lastFailed: -1,
 		useRef:     refDispatch,
 		scen:       scen,
+		rec:        rec,
 	}
 	s.m.Policy = cfg.Policy
 	s.m.Requests = cfg.Requests
@@ -629,6 +652,9 @@ func newSim(cfg Config, scen *scenarioRun) *sim {
 	// gone). A sequential homogeneous run builds exactly one segment,
 	// today's single tree.
 	s.initShards()
+	if rec != nil {
+		rec.begin(s)
+	}
 	return s
 }
 
@@ -641,7 +667,13 @@ func Simulate(ctx context.Context, cfg Config) (Metrics, error) {
 	if err := cfg.Validate(); err != nil {
 		return Metrics{}, err
 	}
-	s := newSim(cfg, nil)
+	return simulate(ctx, cfg, nil)
+}
+
+// simulate is the body shared by Simulate and SimulateTraced; cfg is
+// already defaulted and validated.
+func simulate(ctx context.Context, cfg Config, rec *recorder) (Metrics, error) {
+	s := newSim(cfg, nil, rec)
 
 	// Open-loop arrival trace: the session burst generator at the fleet's
 	// aggregate rate (mean gap = 1/rate). The trace is time-sorted with
@@ -673,6 +705,9 @@ func (s *sim) run(ctx context.Context) (Metrics, error) {
 		if arrival < len(s.reqs) &&
 			(s.events.len() == 0 || s.reqs[arrival].arrivalS <= s.events.top().atS) {
 			s.nowS = s.reqs[arrival].arrivalS
+			if s.rec != nil {
+				s.rec.tick(s)
+			}
 			s.dispatch(int32(arrival))
 			arrival++
 			continue
@@ -682,6 +717,9 @@ func (s *sim) run(ctx context.Context) (Metrics, error) {
 		}
 		ev := s.events.pop()
 		s.nowS = ev.atS
+		if s.rec != nil {
+			s.rec.tick(s)
+		}
 		s.handle(ev)
 	}
 	return s.finish(), nil
@@ -725,6 +763,11 @@ func (s *sim) drop(ri int32, n *node) {
 	r := &s.reqs[ri]
 	r.dropped = true
 	s.m.Dropped++
+	if s.rec != nil && r.firstNode >= 0 {
+		// A redispatch-drop abandons a request that was in flight; a fresh
+		// arrival bounced before its first enqueue never counted.
+		s.rec.reqAbandoned()
+	}
 	if n == nil && s.lastFailed >= 0 {
 		n = &s.nodes[s.lastFailed]
 	}
@@ -739,10 +782,19 @@ func (s *sim) drop(ri int32, n *node) {
 // dispatch routes a fresh arrival to the policy-chosen node.
 func (s *sim) dispatch(ri int32) {
 	r := &s.reqs[ri]
+	rr0 := s.rr
 	n := s.selectNode(r.workS, -1)
 	if n == nil || n.outstanding() >= s.cl(n).queueCap {
+		if s.rec != nil {
+			s.rec.decision(s, ri, "dispatch", n, rr0, -1, false)
+		}
 		s.drop(ri, n)
 		return
+	}
+	if s.rec != nil {
+		// Recorded before enqueue so the winning key and the alternatives
+		// scan see the exact pre-placement state the selector scored.
+		s.rec.decision(s, ri, "dispatch", n, rr0, -1, true)
 	}
 	r.firstNode = int32(n.id)
 	s.enqueue(n, reqCopy{req: ri})
@@ -759,10 +811,17 @@ func (s *sim) hedge(ri int32) {
 	if r.doneS >= 0 || r.dropped {
 		return
 	}
+	rr0 := s.rr
 	n := s.selectNode(r.workS, int(r.firstNode))
 	if n == nil || n.outstanding() >= s.cl(n).queueCap {
+		if s.rec != nil {
+			s.rec.event(s, trace.Event{Kind: "hedge-suppress", Node: -1, Rack: -1, Req: int(ri), Phase: int(r.phase)})
+		}
 		s.m.HedgesSuppressed++
 		return
+	}
+	if s.rec != nil {
+		s.rec.decision(s, ri, "hedge", n, rr0, int(r.firstNode), true)
 	}
 	s.m.HedgesIssued++
 	s.enqueue(n, reqCopy{req: ri, hedge: true})
@@ -773,10 +832,17 @@ func (s *sim) hedge(ri int32) {
 // would-be node) when nothing has queue space.
 func (s *sim) redispatch(ri int32) {
 	r := &s.reqs[ri]
+	rr0 := s.rr
 	n := s.selectNode(r.workS, -1)
 	if n == nil || n.outstanding() >= s.cl(n).queueCap {
+		if s.rec != nil {
+			s.rec.decision(s, ri, "redispatch", n, rr0, -1, false)
+		}
 		s.drop(ri, n)
 		return
+	}
+	if s.rec != nil {
+		s.rec.decision(s, ri, "redispatch", n, rr0, -1, true)
 	}
 	s.m.Redispatches++
 	if s.scen != nil {
@@ -874,6 +940,14 @@ func (s *sim) startService(n *node, c reqCopy) {
 	if sprintS > 0 {
 		s.rackSprintStart(n, sprintS)
 	}
+	if s.rec != nil {
+		if sprintS > 0 {
+			s.rec.sprintStart(s, n, sprintS)
+		}
+		if s.rec.cfg.Level == trace.LevelFull {
+			s.rec.event(s, trace.Event{Kind: "service-start", Node: n.id, Rack: rackOf(s, n), Req: int(c.req), Phase: int(s.reqs[c.req].phase), DurS: serviceS})
+		}
+	}
 	n.busy, n.cur = true, c
 	n.busyUntilS = s.nowS + serviceS
 	n.stats.Served++
@@ -941,6 +1015,12 @@ func (s *sim) complete(n *node) {
 	n.busy = false
 	s.lastDoneS = s.nowS
 	s.reqs[c.req].copies--
+	if s.rec != nil {
+		// One copy departed the node while it is between services — the
+		// instant a hypothetically queued copy would advance, before the
+		// next real service consumes governor budget.
+		s.rec.departed(s, n)
+	}
 	if r := &s.reqs[c.req]; r.doneS < 0 {
 		r.doneS = s.nowS
 		lat := s.nowS - r.arrivalS
@@ -956,6 +1036,15 @@ func (s *sim) complete(n *node) {
 		if c.hedge {
 			s.m.HedgeWins++
 		}
+		if s.rec != nil {
+			s.rec.reqDone(lat)
+			if c.hedge {
+				s.rec.event(s, trace.Event{Kind: "hedge-win", Node: n.id, Rack: rackOf(s, n), Req: int(c.req), Phase: int(r.phase), DurS: lat})
+			}
+			if s.rec.cfg.Level == trace.LevelFull {
+				s.rec.event(s, trace.Event{Kind: "complete", Node: n.id, Rack: rackOf(s, n), Req: int(c.req), Phase: int(r.phase), DurS: lat})
+			}
+		}
 	}
 	for n.head < len(n.queue) {
 		next := n.queue[n.head]
@@ -964,6 +1053,9 @@ func (s *sim) complete(n *node) {
 		if s.reqs[next.req].doneS >= 0 {
 			s.reqs[next.req].copies--
 			s.m.CancelledCopies++
+			if s.rec != nil {
+				s.rec.departed(s, n)
+			}
 			continue
 		}
 		s.startService(n, next)
@@ -1227,6 +1319,11 @@ func (s *sim) refSelect(workS float64, exclude, start int) *node {
 // completion order, so the sequential and sharded engines produce
 // bit-identical sums even where float addition does not commute.
 func (s *sim) finish() Metrics {
+	if s.rec != nil {
+		// The arena is still live here; finalize reads realized completion
+		// times out of it to fill the counterfactual regret columns.
+		s.rec.finalize(s)
+	}
 	m := s.m
 	m.SimS = s.lastDoneS
 	// The latency mean is summed over the arena rather than the

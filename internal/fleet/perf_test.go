@@ -40,6 +40,24 @@ func TestSimulateSteadyStateAllocations(t *testing.T) {
 			t.Errorf("%s: 5× the trace cost %.0f extra allocations (%.0f → %.0f); the event loop is allocating per request",
 				p, delta, small, large)
 		}
+		// The flight recorder's zero-cost-when-off contract: tracing is
+		// keyed on the entry point, so a Config with Trace set but run
+		// through plain Simulate must allocate exactly what the untraced
+		// run does — the recorder hooks are nil checks, nothing more.
+		traceOff := testing.AllocsPerRun(3, func() {
+			cfg := cfgFor(p, 10000)
+			cfg.Trace = TraceConfig{TopK: 5, WindowS: 1}
+			if _, err := Simulate(ctx, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+		// Compared with constant slack (pool warm-up makes single-digit
+		// jitter in either direction); any per-request recorder cost would
+		// show up as thousands.
+		if traceOff-large > 8 {
+			t.Errorf("%s: Trace-off run costs %.0f allocations vs %.0f untraced; the off path is not free",
+				p, traceOff, large)
+		}
 	}
 }
 

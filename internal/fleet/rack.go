@@ -15,6 +15,7 @@ import (
 
 	"sprinting/internal/governor"
 	"sprinting/internal/powersource"
+	"sprinting/internal/trace"
 )
 
 // sprintHorizonS is the paper's design sprint duration (a 16 W burst for
@@ -274,6 +275,9 @@ func (s *sim) sprintAdmitted(n *node, workS float64) bool {
 	if !granted {
 		r.stats.PermitDenials++
 		s.m.PermitDenials++
+		if s.rec != nil {
+			s.rec.event(s, trace.Event{Kind: "permit-deny", Node: n.id, Rack: r.id, Req: -1, Phase: -1})
+		}
 	}
 	return granted
 }
@@ -336,6 +340,9 @@ func (s *sim) breakerTrip(ev event) {
 	r.bufferJ = 0
 	r.stats.Trips++
 	s.m.BreakerTrips++
+	if s.rec != nil {
+		s.rec.event(s, trace.Event{Kind: "breaker-trip", Node: -1, Rack: r.id, Req: -1, Phase: -1, DurS: s.cfg.BreakerRecoveryS})
+	}
 	if s.scen != nil {
 		s.scen.acc[s.scen.cur].trips++
 	}
@@ -350,5 +357,8 @@ func (s *sim) breakerReset(ev event) {
 	r.accrue(s.nowS)
 	r.tripped = false
 	r.stats.ThrottledS += s.cfg.BreakerRecoveryS
+	if s.rec != nil {
+		s.rec.event(s, trace.Event{Kind: "breaker-reset", Node: -1, Rack: r.id, Req: -1, Phase: -1})
+	}
 	s.scheduleTrip(r)
 }

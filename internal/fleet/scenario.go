@@ -33,6 +33,7 @@ import (
 
 	"sprinting/internal/governor"
 	"sprinting/internal/series"
+	"sprinting/internal/trace"
 )
 
 // LoadShape selects how a Phase's arrival-rate factor evolves over the
@@ -538,6 +539,12 @@ func (sc Scenario) generate(cfg Config, baseRate float64) (reqs []request, offer
 // class counts when classes are declared). Like Simulate, the result is a
 // pure function of (cfg, sc) — byte-identical at any worker count.
 func SimulateScenario(ctx context.Context, cfg Config, sc Scenario) (Metrics, error) {
+	return simulateScenario(ctx, cfg, sc, nil)
+}
+
+// simulateScenario is the body shared by SimulateScenario and
+// SimulateScenarioTraced; a non-nil rec attaches the flight recorder.
+func simulateScenario(ctx context.Context, cfg Config, sc Scenario, rec *recorder) (Metrics, error) {
 	sc = sc.withDefaults()
 	if n := sc.Nodes(); n > 0 {
 		cfg.Nodes = n
@@ -578,7 +585,7 @@ func SimulateScenario(ctx context.Context, cfg Config, sc Scenario) (Metrics, er
 	for _, p := range sc.Phases {
 		run.endS += p.DurationS
 	}
-	s := newSim(cfg, run)
+	s := newSim(cfg, run, rec)
 	s.reqs = reqs
 
 	// Phase boundaries are scheduled up front; churn chains one failure
@@ -607,6 +614,9 @@ func SimulateScenario(ctx context.Context, cfg Config, sc Scenario) (Metrics, er
 func (s *sim) phaseStart(i int) {
 	sc := s.scen
 	sc.cur = i
+	if s.rec != nil {
+		s.rec.event(s, trace.Event{Kind: "phase-start", Node: -1, Rack: -1, Req: -1, Phase: i, Name: sc.spec.Phases[i].Name})
+	}
 	delta := sc.spec.Phases[i].AmbientDeltaC
 	if delta == sc.ambientC {
 		return
@@ -640,6 +650,12 @@ func (s *sim) nodeFail() {
 	n := &s.nodes[victim]
 	if !n.alive {
 		return // already down; this draw fizzles
+	}
+	if s.rec != nil {
+		s.rec.event(s, trace.Event{Kind: "node-fail", Node: n.id, Rack: rackOf(s, n), Req: -1, Phase: sc.cur})
+		// The node's realized future ends here: counterfactual probes
+		// watching its departures can never resolve.
+		s.rec.nodeDown(n)
 	}
 	downS := math.Max(1e-3, sc.churnRng.ExpFloat64()*sc.spec.Churn.MeanDowntimeS)
 	s.push(event{atS: s.nowS + downS, kind: evNodeRecover, node: int32(victim)})
@@ -697,6 +713,9 @@ func (s *sim) nodeRecover(n *node) {
 	n.gov = cl.proto
 	n.gov.Idle(s.nowS) // advance the fresh clock to now; the budget is already full
 	s.m.NodeRecoveries++
+	if s.rec != nil {
+		s.rec.event(s, trace.Event{Kind: "node-recover", Node: n.id, Rack: rackOf(s, n), Req: -1, Phase: s.scen.cur})
+	}
 	if s.racks != nil {
 		r := &s.racks[n.rackID]
 		r.accrue(s.nowS)

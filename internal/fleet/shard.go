@@ -155,9 +155,11 @@ func (s *sim) initShards() {
 // concurrent engine exact: a plain (non-scenario) run under state-blind
 // round-robin dispatch, without the Probabilistic admission policy's
 // fleet-global random stream. Everything else routes through the
-// serialized-merge engine.
+// serialized-merge engine — including any traced run, because the flight
+// recorder appends one global record stream in event order and must
+// produce identical bytes at every worker count.
 func (s *sim) parallelOK() bool {
-	return s.scen == nil && s.cfg.Policy == RoundRobin && s.cfg.Coordination != Probabilistic
+	return s.scen == nil && s.cfg.Policy == RoundRobin && s.cfg.Coordination != Probabilistic && s.rec == nil
 }
 
 // buildSegs lowers the shard cuts × class blocks into dispatch-index
@@ -280,6 +282,9 @@ func (s *sim) runSharded(ctx context.Context) (Metrics, error) {
 		}
 		if arrival < len(s.reqs) && (src == -2 || s.reqs[arrival].arrivalS <= top.atS) {
 			s.nowS = s.reqs[arrival].arrivalS
+			if s.rec != nil {
+				s.rec.tick(s)
+			}
 			s.dispatch(int32(arrival))
 			arrival++
 			continue
@@ -294,6 +299,9 @@ func (s *sim) runSharded(ctx context.Context) (Metrics, error) {
 			ev = s.shards[src].events.pop()
 		}
 		s.nowS = ev.atS
+		if s.rec != nil {
+			s.rec.tick(s)
+		}
 		s.handle(ev)
 	}
 	return s.finish(), nil

@@ -53,6 +53,7 @@ import (
 	"sprinting/internal/session"
 	"sprinting/internal/table"
 	"sprinting/internal/thermal"
+	"sprinting/internal/trace"
 	"sprinting/internal/workloads"
 )
 
@@ -505,6 +506,76 @@ func SimulateScenarioSweepContext(ctx context.Context, scs []ScenarioConfig, wor
 			return fleet.SimulateScenario(ctx, sc.Fleet, sc.Scenario)
 		}, engine.Options{Workers: workers})
 }
+
+// TraceConfig configures the fleet flight recorder: the capture level,
+// the number of rejected alternatives each dispatch decision records
+// (and counterfactually probes), and the timeline sample window. Set it
+// on FleetConfig.Trace and run through SimulateFleetTraced or
+// SimulateScenarioTraced — the plain entry points ignore it, so the
+// untraced hot path stays allocation-free.
+type TraceConfig = fleet.TraceConfig
+
+// TraceLevel selects how much the flight recorder captures.
+type TraceLevel = trace.Level
+
+// Trace capture levels.
+const (
+	// TraceOff disables the recorder (the zero value); the traced entry
+	// points promote it to TraceDecisions, since calling them is the
+	// opt-in.
+	TraceOff = trace.LevelOff
+	// TraceDecisions records every dispatch decision with its winning
+	// routing key and top-k rejected alternatives (each counterfactually
+	// probed against the alternative node's realized future), lifecycle
+	// events, and rolling timeline samples.
+	TraceDecisions = trace.LevelDecisions
+	// TraceFull adds per-request service-start and completion events.
+	TraceFull = trace.LevelFull
+)
+
+// ParseTraceLevel maps a level name (off, decisions, full) to its
+// TraceLevel.
+func ParseTraceLevel(s string) (TraceLevel, error) { return trace.ParseLevel(s) }
+
+// FleetTrace is one traced run's complete recording: a header plus every
+// decision, lifecycle event, and timeline sample in the exact global
+// event order (byte-identical at any FleetConfig.Workers count). Use
+// WriteJSONL to serialize it, and Decisions / Samples / Events /
+// TopRegret to mine it in process.
+type FleetTrace = trace.Trace
+
+// SimulateFleetTraced runs SimulateFleet with the flight recorder
+// attached, returning the metrics together with the recording. The
+// metrics are identical to the untraced run's — the recorder observes,
+// never steers.
+func SimulateFleetTraced(cfg FleetConfig) (FleetMetrics, *FleetTrace, error) {
+	return SimulateFleetTracedContext(context.Background(), cfg)
+}
+
+// SimulateFleetTracedContext is SimulateFleetTraced under a caller
+// context.
+func SimulateFleetTracedContext(ctx context.Context, cfg FleetConfig) (FleetMetrics, *FleetTrace, error) {
+	return fleet.SimulateTraced(ctx, cfg)
+}
+
+// SimulateScenarioTraced runs SimulateScenario with the flight recorder
+// attached: phase boundaries annotate the timeline and churn joins the
+// event stream alongside the dispatch decisions.
+func SimulateScenarioTraced(sc ScenarioConfig) (FleetMetrics, *FleetTrace, error) {
+	return SimulateScenarioTracedContext(context.Background(), sc)
+}
+
+// SimulateScenarioTracedContext is SimulateScenarioTraced under a caller
+// context.
+func SimulateScenarioTracedContext(ctx context.Context, sc ScenarioConfig) (FleetMetrics, *FleetTrace, error) {
+	return fleet.SimulateScenarioTraced(ctx, sc.Fleet, sc.Scenario)
+}
+
+// TraceSparkline renders a series as a one-line unicode sparkline,
+// min–max scaled; negative values (the trace's no-data sentinel, e.g. a
+// window that completed nothing) render as gaps. fleetsim uses it for
+// the per-window p99 row in -trace-summary.
+func TraceSparkline(vals []float64) string { return trace.Sparkline(vals) }
 
 // Table is a printable experiment result.
 type Table = table.Table
