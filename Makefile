@@ -13,7 +13,10 @@
 # CI can archive the perf trajectory from every run; `make bench-gate`
 # compares that report against the committed BENCH_baseline.json and
 # fails on regressions past the tolerance; `make bench-baseline`
-# refreshes the baseline after an intentional perf change.
+# refreshes the baseline after an intentional perf change; `make lint`
+# is the static gate — gofmt, go vet, the first-party sprintvet
+# analyzers (determinism and hot-path contracts), and govulncheck when
+# it is installed.
 
 GO ?= go
 
@@ -31,7 +34,7 @@ TOLERANCE ?= 1.5
 # note instead of a false verdict.
 MIN_SPEEDUP ?= BenchmarkFleetScaleDecoupledParallel=3
 
-.PHONY: all build test bench benchsmoke bench-json bench-gate bench-baseline vet fleet rack scenario trace
+.PHONY: all build test bench benchsmoke bench-json bench-gate bench-baseline vet lint fleet rack scenario trace
 
 all: build
 
@@ -40,6 +43,23 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# lint is the full static gate: formatting, the standard vet suite, the
+# module's own sprintvet analyzers run through the real `go vet
+# -vettool` protocol, and govulncheck when present (it needs a network
+# to fetch the vulnerability database, so offline checkouts skip it
+# with a note instead of failing).
+lint: vet
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	mkdir -p bin
+	$(GO) build -o bin/sprintvet ./cmd/sprintvet
+	$(GO) vet -vettool=$(CURDIR)/bin/sprintvet ./...
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 test: vet
 	$(GO) test -race ./...

@@ -165,11 +165,15 @@ func compare(old, new Report, tolerance float64, out io.Writer) int {
 type minSpeedupFlag map[string]float64
 
 func (m minSpeedupFlag) String() string {
-	parts := make([]string, 0, len(m))
-	for name, r := range m {
-		parts = append(parts, fmt.Sprintf("%s=%g", name, r))
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
 	}
-	sort.Strings(parts)
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s=%g", name, m[name]))
+	}
 	return strings.Join(parts, ",")
 }
 
@@ -223,14 +227,15 @@ func reportSpeedups(rep Report, min minSpeedupFlag, out io.Writer) int {
 			failures++
 		}
 	}
-	missing := make([]string, 0, len(min))
+	names := make([]string, 0, len(min))
 	for name := range min {
-		if !checked[name] {
-			missing = append(missing, name)
-		}
+		names = append(names, name)
 	}
-	sort.Strings(missing)
-	for _, name := range missing {
+	sort.Strings(names)
+	for _, name := range names {
+		if checked[name] {
+			continue
+		}
 		fmt.Fprintf(out, "MISSING  %-40s -min-speedup target (or its base pair) absent from the report\n", name)
 		failures++
 	}

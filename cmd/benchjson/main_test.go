@@ -269,3 +269,44 @@ func TestCompareUsageErrors(t *testing.T) {
 		t.Errorf("-min-speedup without -compare should exit 2, got %d", code)
 	}
 }
+
+// TestMinSpeedupFlagStringDeterministic: the flag's String() must render
+// targets in sorted-name order on every call — the text is a pure
+// function of the map's contents, never of map iteration order.
+func TestMinSpeedupFlagStringDeterministic(t *testing.T) {
+	m := minSpeedupFlag{"BenchmarkZeta": 2, "BenchmarkAlpha": 3, "BenchmarkMid": 1.5}
+	want := "BenchmarkAlpha=3,BenchmarkMid=1.5,BenchmarkZeta=2"
+	for i := 0; i < 50; i++ {
+		if got := m.String(); got != want {
+			t.Fatalf("call %d: String() = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// TestCompareMinSpeedupMissingOrderDeterministic: several absent
+// -min-speedup targets must be reported in sorted order on every run.
+func TestCompareMinSpeedupMissingOrderDeterministic(t *testing.T) {
+	rep := Report{Results: []Result{procResult("BenchmarkFleetScale", 1e9, 8)}}
+	old, new := writeReport(t, rep), writeReport(t, rep)
+	var first string
+	for i := 0; i < 20; i++ {
+		out, _, code := runCompare(t, "-compare", old, new,
+			"-min-speedup", "BenchmarkZGoneParallel=3",
+			"-min-speedup", "BenchmarkAGoneParallel=2",
+			"-min-speedup", "BenchmarkMGoneParallel=4")
+		if code != 1 {
+			t.Fatalf("absent targets should exit 1, got %d\n%s", code, out)
+		}
+		a := strings.Index(out, "BenchmarkAGoneParallel")
+		m := strings.Index(out, "BenchmarkMGoneParallel")
+		z := strings.Index(out, "BenchmarkZGoneParallel")
+		if a < 0 || m < 0 || z < 0 || !(a < m && m < z) {
+			t.Fatalf("missing targets out of sorted order:\n%s", out)
+		}
+		if i == 0 {
+			first = out
+		} else if out != first {
+			t.Fatalf("run %d output differs from run 0:\n%s\nvs\n%s", i, out, first)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// The allocfree analyzer. The event loop processes hundreds of
+// millions of events per run, and TestSimulateSteadyStateAllocations
+// pins the steady-state allocation delta at ≤32 for 5× trace growth —
+// a budget one careless closure or fmt call per event would blow by six
+// orders of magnitude. Functions on that path carry a
+//
+//	//sprint:hotpath
+//
+// directive in their doc comment; inside them the analyzer flags the
+// constructs whose heap escapes are invisible in review:
+//
+//   - function literals that capture enclosing variables (the capture
+//     forces the closure, and usually the captives, onto the heap);
+//   - any call into fmt (formatting allocates for the variadic box,
+//     the reflection walk, and the result);
+//   - interface conversions, explicit or by assignment (boxing a
+//     concrete value allocates unless the escape analyzer gets lucky);
+//   - append into a function-local slice that was not made with an
+//     explicit capacity (growth reallocates; appends into fields,
+//     parameters, or indexed storage are exempt — the event heap and
+//     the recorder's arenas grow once to steady state and are then
+//     reused, which is the amortized-zero pattern the pin measures);
+//   - map and slice composite literals (always heap-backed when they
+//     escape, and a fresh literal per event is a per-event allocation).
+//
+// The analyzer is opt-in by annotation and so runs on every package;
+// un-annotated functions are never inspected.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotpathDirective marks a function as part of the allocation-free
+// hot path.
+const hotpathDirective = "//sprint:hotpath"
+
+// AllocFreeAnalyzer flags heap-escaping constructs in //sprint:hotpath
+// functions.
+var AllocFreeAnalyzer = &Analyzer{
+	Name: "allocfree",
+	Doc:  "forbid allocating constructs (capturing closures, fmt, interface boxing, growing appends, map/slice literals) in //sprint:hotpath functions",
+	Run:  runAllocFree,
+}
+
+// isHotPath reports whether the declaration's doc group carries the
+// //sprint:hotpath directive.
+func isHotPath(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if c.Text == hotpathDirective || strings.HasPrefix(c.Text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func runAllocFree(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotPath(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkHotPath walks one annotated function for allocating constructs.
+func checkHotPath(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capt := capturedVar(info, n, fd); capt != "" {
+				pass.Reportf(n.Pos(), "closure capturing %s in hot path: the closure (and its captives) escape to the heap", capt)
+			}
+			return false // the literal runs elsewhere; don't scan its body
+		case *ast.CallExpr:
+			checkHotPathCall(pass, fd, n)
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i < len(n.Rhs) {
+					checkInterfaceBox(pass, info.TypeOf(lhs), n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				for _, v := range n.Values {
+					checkInterfaceBox(pass, info.TypeOf(n.Type), v)
+				}
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal in hot path allocates; hoist it to setup or a reused field")
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal in hot path allocates; hoist it to setup or a reused field")
+			}
+		}
+		return true
+	})
+}
+
+// capturedVar returns the name of a variable the literal captures from
+// the enclosing function, or "" when it captures nothing (a static
+// closure the compiler hoists without allocating).
+func capturedVar(info *types.Info, lit *ast.FuncLit, fd *ast.FuncDecl) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || name != "" {
+			return name == ""
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if obj.Pos() >= fd.Pos() && obj.Pos() < lit.Pos() {
+			name = obj.Name()
+		}
+		return name == ""
+	})
+	return name
+}
+
+// checkHotPathCall flags fmt calls, explicit interface conversions, and
+// growing appends.
+func checkHotPathCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in hot path allocates (variadic box, reflection walk, result)", fn.Name())
+		return
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			checkInterfaceBox(pass, tv.Type, call.Args[0])
+		}
+		return
+	}
+	if isBuiltin(info, call, "append") && len(call.Args) > 0 {
+		checkHotPathAppend(pass, fd, call)
+	}
+}
+
+// checkInterfaceBox flags a concrete value converted (boxed) into an
+// interface-typed destination.
+func checkInterfaceBox(pass *Pass, dst types.Type, val ast.Expr) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	vt := pass.TypesInfo.TypeOf(val)
+	if vt == nil || types.IsInterface(vt) {
+		return
+	}
+	if b, ok := vt.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	pass.Reportf(val.Pos(), "interface conversion in hot path: boxing %s into %s allocates unless escape analysis proves otherwise", vt, dst)
+}
+
+// checkHotPathAppend flags appends whose destination is a
+// function-local slice without an explicit preallocated capacity.
+// Fields, parameters, package-level variables, and indexed storage are
+// assumed preallocated by their owner (the steady-state reuse pattern).
+func checkHotPathAppend(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return // field/element-backed destination: owner preallocates
+	}
+	obj, ok := info.ObjectOf(dst).(*types.Var)
+	if !ok {
+		return
+	}
+	// Parameters (incl. receiver) and anything declared outside this
+	// function are the owner's responsibility.
+	if obj.Pos() < fd.Body.Pos() || obj.Pos() > fd.Body.End() {
+		return
+	}
+	if localMadeWithCap(info, fd, obj) {
+		return
+	}
+	pass.Reportf(call.Pos(), "append into %s may grow without a preallocated capacity in hot path: make it with an explicit cap or reuse a field", dst.Name)
+}
+
+// localMadeWithCap reports whether the local variable's visible
+// initializer is a three-argument make (len and cap given).
+func localMadeWithCap(info *types.Info, fd *ast.FuncDecl, obj *types.Var) bool {
+	made := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if made {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || info.ObjectOf(id) != obj || i >= len(n.Rhs) {
+					continue
+				}
+				if mk, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr); ok &&
+					isBuiltin(info, mk, "make") && len(mk.Args) == 3 {
+					made = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if info.ObjectOf(name) != obj || i >= len(n.Values) {
+					continue
+				}
+				if mk, ok := ast.Unparen(n.Values[i]).(*ast.CallExpr); ok &&
+					isBuiltin(info, mk, "make") && len(mk.Args) == 3 {
+					made = true
+				}
+			}
+		}
+		return !made
+	})
+	return made
+}

@@ -1,0 +1,132 @@
+// Package analysistest runs a sprintvet analyzer over a golden fixture
+// package and checks its findings against `// want` expectations, the
+// same convention as golang.org/x/tools/go/analysis/analysistest (which
+// this module cannot depend on): a comment
+//
+//	// want "regexp" "another regexp"
+//
+// on a source line declares that the analyzer must report exactly those
+// diagnostics on that line. Unmatched wants and unexpected diagnostics
+// both fail the test. Suppression directives are honored, and malformed
+// directives surface as findings from the "sprintvet" pseudo-analyzer,
+// so every fixture can also pin the suppression contract.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sprinting/internal/analysis"
+)
+
+// wantRE extracts the quoted regexps of a // want comment: either
+// double-quoted or backquoted, like upstream analysistest.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// expectation is one unmet // want pattern.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+// Run loads testdata/src/<pkg> for each named fixture package beneath
+// dir, runs the analyzer (plus directive validation) on it, and
+// matches the findings against the fixture's // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runOne(t, dir, a, pkg)
+	}
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	path := filepath.Join(dir, "src", pkg)
+	loaded, err := analysis.Load(path, ".")
+	if err != nil {
+		t.Fatalf("%s: loading fixture: %v", pkg, err)
+	}
+	diags, err := analysis.Run(loaded, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s: running %s: %v", pkg, a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, lp := range loaded {
+		ws, err := collectWants(lp)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	var fset *token.FileSet
+	if len(loaded) > 0 {
+		fset = loaded[0].Fset
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s: %s",
+				pkg, filepath.Base(pos.Filename), pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if w.re != nil {
+			t.Errorf("%s: no diagnostic matched want %q at %s:%d",
+				pkg, w.raw, filepath.Base(w.file), w.line)
+		}
+	}
+}
+
+// collectWants parses every // want comment in the package.
+func collectWants(pkg *analysis.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					return nil, fmt.Errorf("%s:%d: // want comment with no quoted regexp", pos.Filename, pos.Line)
+				}
+				for _, m := range ms {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// claim consumes the first unmet want on (file, line) matching msg.
+func claim(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if w.re == nil || w.file != file || w.line != line {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.re = nil
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,116 @@
+// Suppression directives. A finding can be waived in place with
+//
+//	//sprintvet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// attached to the offending line (trailing comment) or on the line
+// directly above it. Both the analyzer list and the reason are
+// mandatory: a suppression that does not say which contract it waives
+// and why is itself a finding — the gate must never pass on an
+// unexplained exemption.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix is the directive's comment text prefix (directive
+// comments carry no space after the slashes, like //go:build). The
+// block form /*sprintvet:ignore ...*/ is accepted too, so a directive
+// can share a line with other trailing comments.
+const (
+	ignorePrefix      = "//sprintvet:ignore"
+	ignoreBlockPrefix = "/*sprintvet:ignore"
+)
+
+// directive is one well-formed suppression: the set of analyzer names
+// it waives and the line it is written on.
+type directive struct {
+	file      string
+	line      int
+	analyzers map[string]bool
+}
+
+// collectDirectives scans the files' comments for //sprintvet:ignore
+// directives, returning the well-formed ones plus a diagnostic (from
+// the "sprintvet" pseudo-analyzer) for each malformed one. A malformed
+// directive suppresses nothing.
+func collectDirectives(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) ([]directive, []Diagnostic) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var dirs []directive
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				var rest string
+				switch {
+				case strings.HasPrefix(c.Text, ignorePrefix):
+					rest = strings.TrimPrefix(c.Text, ignorePrefix)
+				case strings.HasPrefix(c.Text, ignoreBlockPrefix):
+					rest = strings.TrimSuffix(strings.TrimPrefix(c.Text, ignoreBlockPrefix), "*/")
+				default:
+					continue
+				}
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// A longer directive name (e.g. //sprintvet:ignorefoo)
+					// is not ours.
+					continue
+				}
+				d, msg := parseIgnore(rest, known)
+				pos := fset.Position(c.Pos())
+				if msg != "" {
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "sprintvet",
+						Message:  msg,
+					})
+					continue
+				}
+				d.file = pos.Filename
+				d.line = pos.Line
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// parseIgnore validates one directive body (the text after the
+// prefix), returning the parsed directive or a diagnostic message.
+func parseIgnore(rest string, known map[string]bool) (directive, string) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return directive{}, "malformed //sprintvet:ignore: want \"//sprintvet:ignore <analyzer>[,<analyzer>] <reason>\", got no analyzer and no reason"
+	}
+	names := strings.Split(fields[0], ",")
+	set := map[string]bool{}
+	for _, n := range names {
+		if !known[n] {
+			return directive{}, "malformed //sprintvet:ignore: unknown analyzer " + strings.TrimSpace(n) + " (want one of the sprintvet analyzers, comma-separated)"
+		}
+		set[n] = true
+	}
+	if len(fields) < 2 {
+		return directive{}, "malformed //sprintvet:ignore: a reason is required after the analyzer list"
+	}
+	return directive{analyzers: set}, ""
+}
+
+// suppressed reports whether a finding from the named analyzer at pos
+// is waived by a directive on the same line or the line directly above.
+func suppressed(fset *token.FileSet, dirs []directive, analyzer string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, d := range dirs {
+		if d.file != p.Filename || !d.analyzers[analyzer] {
+			continue
+		}
+		if d.line == p.Line || d.line == p.Line-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseIgnore pins the directive grammar: analyzer list and reason
+// both mandatory, unknown analyzers rejected, comma lists accepted.
+func TestParseIgnore(t *testing.T) {
+	known := map[string]bool{"nondeterminism": true, "floatorder": true}
+	cases := []struct {
+		rest    string
+		wantErr string
+		names   []string
+	}{
+		{rest: "", wantErr: "no analyzer and no reason"},
+		{rest: "   ", wantErr: "no analyzer and no reason"},
+		{rest: " nondeterminism", wantErr: "a reason is required"},
+		{rest: " bogus some reason", wantErr: "unknown analyzer bogus"},
+		{rest: " nondeterminism,bogus some reason", wantErr: "unknown analyzer bogus"},
+		{rest: " nondeterminism wall clock is the product here", names: []string{"nondeterminism"}},
+		{rest: " nondeterminism,floatorder measured, reduction is canonical", names: []string{"nondeterminism", "floatorder"}},
+	}
+	for _, tc := range cases {
+		d, msg := parseIgnore(tc.rest, known)
+		if tc.wantErr != "" {
+			if !strings.Contains(msg, tc.wantErr) {
+				t.Errorf("parseIgnore(%q): got %q, want error containing %q", tc.rest, msg, tc.wantErr)
+			}
+			continue
+		}
+		if msg != "" {
+			t.Errorf("parseIgnore(%q): unexpected error %q", tc.rest, msg)
+			continue
+		}
+		for _, n := range tc.names {
+			if !d.analyzers[n] {
+				t.Errorf("parseIgnore(%q): analyzer %s not waived", tc.rest, n)
+			}
+		}
+		if len(d.analyzers) != len(tc.names) {
+			t.Errorf("parseIgnore(%q): waived %d analyzers, want %d", tc.rest, len(d.analyzers), len(tc.names))
+		}
+	}
+}
+
+// TestIsSimPackage pins the scope of the determinism contract: the
+// whole module, minus the analysis suite itself, with go vet's
+// test-variant paths normalized.
+func TestIsSimPackage(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"sprinting", true},
+		{"sprinting/internal/fleet", true},
+		{"sprinting/internal/fleet [sprinting/internal/fleet.test]", true},
+		{"sprinting/internal/fleet.test", true},
+		{"sprinting/cmd/fleetsim", true},
+		{"sprinting/internal/analysis", false},
+		{"sprinting/internal/analysis/analysistest", false},
+		{"other/module", false},
+	}
+	for _, tc := range cases {
+		if got := isSimPackage(tc.path); got != tc.want {
+			t.Errorf("isSimPackage(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// The floatorder analyzer. Floating-point addition and multiplication
+// are not associative: reducing a set of floats in two different orders
+// produces two different bit patterns, which is exactly what Go's
+// randomized map iteration order delivers. The sharded engine went out
+// of its way to reduce every float in a canonical order (finish()
+// walks the request arena and the rack array in index order — see
+// docs/ARCHITECTURE.md "Sharded execution"); an accumulation under
+// `range m` silently reintroduces run-to-run jitter in the last ulp,
+// and "almost equal" is still not byte-identical.
+//
+// The analyzer flags floating-point (and complex) accumulation —
+// compound assignment, x = x ± e self-reference, and increment — into
+// state declared outside a range-over-map body. The fix is mechanical:
+// extract the keys, sort them, and reduce over the sorted slice.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatOrderAnalyzer flags float accumulation under map iteration.
+var FloatOrderAnalyzer = &Analyzer{
+	Name:      "floatorder",
+	Doc:       "forbid floating-point accumulation in map-iteration order; reduce over sorted keys instead",
+	AppliesTo: isSimPackage,
+	Run:       runFloatOrder,
+}
+
+func runFloatOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(pass.TypesInfo.TypeOf(rng.X)) {
+				return true
+			}
+			checkFloatAccumulation(pass, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFloatAccumulation scans one map-range body for non-associative
+// accumulation into enclosing state.
+func checkFloatAccumulation(pass *Pass, rng *ast.RangeStmt) {
+	lo, hi := rng.Pos(), rng.End()
+	info := pass.TypesInfo
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkFloatAssign(pass, n, lo, hi)
+		case *ast.IncDecStmt:
+			root := rootIdent(n.X)
+			if root != nil && !declaredWithin(info, root, lo, hi) && isFloat(info.TypeOf(n.X)) {
+				pass.Reportf(n.Pos(), "floating-point %s of %s inside map iteration: rounding accumulates in map order", incDecName(n.Tok), root.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkFloatAssign flags compound float updates and x = x ± e forms.
+func checkFloatAssign(pass *Pass, asg *ast.AssignStmt, lo, hi token.Pos) {
+	info := pass.TypesInfo
+	for i, lhs := range asg.Lhs {
+		root := rootIdent(lhs)
+		if root == nil || declaredWithin(info, root, lo, hi) || !isFloat(info.TypeOf(lhs)) {
+			continue
+		}
+		switch asg.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			pass.Reportf(asg.Pos(), "floating-point accumulation into %s inside map iteration: the sum depends on map order; reduce over sorted keys", root.Name)
+		case token.ASSIGN:
+			if i < len(asg.Rhs) && selfReferencingArith(info, lhs, asg.Rhs[i]) {
+				pass.Reportf(asg.Pos(), "floating-point accumulation into %s inside map iteration: the sum depends on map order; reduce over sorted keys", root.Name)
+			}
+		}
+	}
+}
+
+// selfReferencingArith reports whether rhs is an arithmetic expression
+// that mentions lhs itself (sum = sum + x, sum = x + sum, p = p * w...),
+// the spelled-out form of a compound accumulation.
+func selfReferencingArith(info *types.Info, lhs, rhs ast.Expr) bool {
+	bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return false
+	}
+	want := types.ExprString(ast.Unparen(lhs))
+	found := false
+	ast.Inspect(bin, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && types.ExprString(ast.Unparen(e)) == want {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// incDecName names the ++/-- token for diagnostics.
+func incDecName(tok token.Token) string {
+	if tok == token.INC {
+		return "increment"
+	}
+	return "decrement"
+}

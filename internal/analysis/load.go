@@ -1,0 +1,155 @@
+// Package loading without golang.org/x/tools: `go list -deps -export`
+// names every package's sources and compiles export data for its
+// dependencies into the build cache, and go/types checks the target
+// sources against that export data through the standard library's gc
+// importer. The result carries everything an analyzer needs — syntax
+// with comments, *types.Package, and a fully populated types.Info.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path as reported by go list.
+	Path string
+	// Fset positions the package's syntax.
+	Fset *token.FileSet
+	// Files is the parsed syntax, comments included, in go list order.
+	Files []*ast.File
+	// Types is the checked package.
+	Types *types.Package
+	// Info carries the type-checker's facts about the syntax.
+	Info *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load lists the patterns from dir, type-checks every matched package
+// (dependencies are imported from gc export data, never re-checked),
+// and returns them in go list order.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,CgoFiles,Export,DepOnly,Standard,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportDataImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	var pkgs []*Package
+	for _, p := range targets {
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", p.ImportPath)
+		}
+		pkg, err := CheckFiles(fset, imp, p.ImportPath, p.Dir, p.GoFiles, "")
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// ExportDataImporter builds a go/types importer that reads gc export
+// data files resolved by lookup (import path → file path). cmd/go's
+// vet protocol and the loader both feed it: the only difference is
+// where the path map comes from (a vet .cfg versus go list -export).
+func ExportDataImporter(fset *token.FileSet, lookup func(path string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := lookup(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// CheckFiles parses and type-checks one package's files. goVersion,
+// when non-empty, pins the language version ("go1.24").
+func CheckFiles(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string, goVersion string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		fn := name
+		if !filepath.IsAbs(fn) {
+			fn = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp, GoVersion: goVersion}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: typecheck: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,115 @@
+// Package allocfree is the golden fixture for the allocfree analyzer:
+// heap-escaping constructs inside //sprint:hotpath functions, next to
+// the exempt steady-state-reuse patterns and un-annotated code.
+package allocfree
+
+import "fmt"
+
+type ring struct {
+	buf []int
+}
+
+//sprint:hotpath
+func hotClosure(vs []int) func() int {
+	i := 0
+	return func() int { // want `closure capturing \w+ in hot path`
+		i++
+		return vs[i%len(vs)]
+	}
+}
+
+//sprint:hotpath
+func hotFmt(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `fmt\.Sprintf in hot path allocates`
+}
+
+//sprint:hotpath
+func hotConvert(n int) any {
+	return any(n) // want `interface conversion in hot path`
+}
+
+//sprint:hotpath
+func hotAssignBox(n int) any {
+	var sink any
+	sink = n // want `interface conversion in hot path`
+	return sink
+}
+
+//sprint:hotpath
+func hotVarBox(n int) any {
+	var sink any = n // want `interface conversion in hot path`
+	return sink
+}
+
+//sprint:hotpath
+func hotAppend(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `append into out may grow without a preallocated capacity`
+	}
+	return out
+}
+
+//sprint:hotpath
+func hotLiterals() int {
+	weights := []float64{1, 2} // want `slice literal in hot path allocates`
+	index := map[string]int{}  // want `map literal in hot path allocates`
+	return len(weights) + len(index)
+}
+
+// hotPrealloc is exempt: the local slice is made with an explicit
+// capacity, so the appends never grow it.
+//
+//sprint:hotpath
+func hotPrealloc(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// push is exempt: a field-backed slice grows once to steady state and
+// is then reused — the amortized-zero pattern the allocation pin
+// measures.
+//
+//sprint:hotpath
+func (r *ring) push(v int) {
+	r.buf = append(r.buf, v)
+}
+
+// hotStaticClosure is exempt: a literal that captures nothing is
+// hoisted by the compiler without allocating.
+//
+//sprint:hotpath
+func hotStaticClosure() func() int {
+	return func() int { return 42 }
+}
+
+// coldEverything is exempt wholesale: no //sprint:hotpath annotation,
+// no inspection.
+func coldEverything(n int) string {
+	_ = []int{n}
+	return fmt.Sprintf("n=%d", n)
+}
+
+// hotWaived demonstrates a reasoned suppression on a cold error path.
+//
+//sprint:hotpath
+func hotWaived(err error) string {
+	if err != nil {
+		//sprintvet:ignore allocfree cold error path, runs at most once per simulation
+		return fmt.Sprintf("fleet: %v", err)
+	}
+	return ""
+}
+
+//sprint:hotpath
+func bareIgnore() int {
+	return 1 /*sprintvet:ignore*/ // want `malformed //sprintvet:ignore: want`
+}
+
+//sprint:hotpath
+func noReason(n int) string {
+	return fmt.Sprint(n) /*sprintvet:ignore allocfree*/ // want `a reason is required` `fmt\.Sprint in hot path allocates`
+}

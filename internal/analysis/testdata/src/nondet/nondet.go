@@ -1,0 +1,111 @@
+// Package nondet is the golden fixture for the nondeterminism
+// analyzer: wall clocks, global randomness, order-dependent map
+// iteration, and stray goroutines, next to the exempt idioms.
+package nondet
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clocks() time.Duration {
+	start := time.Now()      // want `call to time\.Now in sim code`
+	return time.Since(start) // want `call to time\.Since in sim code`
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want `top-level rand\.Intn draws from the process-global source`
+}
+
+func shuffled(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `top-level rand\.Shuffle draws from the process-global source`
+}
+
+func unseeded(src rand.Source) *rand.Rand {
+	return rand.New(src) // want `rand\.New with a source not constructed inline from a seed`
+}
+
+// seeded streams are the blessed form: the seed is auditable in place.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func lastWriter(m map[string]float64) float64 {
+	var last float64
+	for _, v := range m {
+		last = v // want `assignment to last inside map iteration`
+	}
+	return last
+}
+
+func concat(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want `string concatenation into out inside map iteration`
+	}
+	return out
+}
+
+func firstMatch(m map[string]int) string {
+	for k, v := range m {
+		if v > 0 {
+			return k // want `return of an iteration-dependent value from inside map iteration`
+		}
+	}
+	return ""
+}
+
+func collect(m map[string]int) []string {
+	var rows []string
+	for k := range m {
+		rows = append(rows, k+"!") // want `assignment to rows inside map iteration`
+	}
+	return rows
+}
+
+// sortedKeys is the exempt ordered-key-extraction idiom: the only body
+// statement appends the key, and the caller sorts before reducing.
+func sortedKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// commutative updates are exempt: integer accumulation is bit-exact in
+// any order, and a keyed insert owns its slot.
+func histogram(m map[string]int) (int, map[string]int) {
+	n := 0
+	sizes := map[string]int{}
+	for k, v := range m {
+		n += v
+		sizes[k] = v
+	}
+	return n, sizes
+}
+
+func spawn(ch chan int) {
+	go func() { ch <- 1 }() // want `goroutine launched outside the blessed concurrency files`
+}
+
+// waived demonstrates a reasoned suppression: the directive names the
+// analyzer and says why, so the finding is consumed here.
+func waived() time.Time {
+	//sprintvet:ignore nondeterminism fixture demonstrates a reasoned waiver
+	return time.Now()
+}
+
+func bareIgnore() int {
+	return 1 /*sprintvet:ignore*/ // want `malformed //sprintvet:ignore: want`
+}
+
+func noReason() time.Time {
+	return time.Now() /*sprintvet:ignore nondeterminism*/ // want `a reason is required` `call to time\.Now in sim code`
+}
+
+func unknownAnalyzer() int {
+	return 2 /*sprintvet:ignore gofancy because reasons*/ // want `unknown analyzer gofancy`
+}

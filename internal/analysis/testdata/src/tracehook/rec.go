@@ -1,0 +1,19 @@
+// Package tracehook is the golden fixture for the tracehook analyzer.
+// This file declares the recorder type: everything here — the
+// recorder's own methods and its constructor — is exempt, because the
+// declaring file manages its receiver's lifetime.
+package tracehook
+
+type recorder struct {
+	n int
+}
+
+func (r *recorder) hook() { r.n++ }
+
+func (r *recorder) nested() { r.hook() }
+
+func newRecorder() *recorder {
+	r := &recorder{}
+	r.hook()
+	return r
+}

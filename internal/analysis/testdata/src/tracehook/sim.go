@@ -1,0 +1,78 @@
+package tracehook
+
+type sim struct {
+	rec *recorder
+}
+
+func (s *sim) step() {
+	s.rec.hook() // want `call to recorder\.hook is not dominated by a nil guard`
+}
+
+// guarded is the canonical hook shape: the call sits in the then-branch
+// of the nil check.
+func (s *sim) guarded() {
+	if s.rec != nil {
+		s.rec.hook()
+	}
+}
+
+// guardedConjunct is exempt too: the nil check is one conjunct of the
+// condition.
+func (s *sim) guardedConjunct(n int) {
+	if s.rec != nil && n > 0 {
+		s.rec.hook()
+	}
+}
+
+// earlyReturn is the other accepted shape: a preceding `== nil` guard
+// that unconditionally leaves the block.
+func (s *sim) earlyReturn() {
+	if s.rec == nil {
+		return
+	}
+	s.rec.hook()
+}
+
+func (s *sim) wrongBranch() {
+	if s.rec != nil {
+		_ = s.rec
+	} else {
+		s.rec.hook() // want `call to recorder\.hook is not dominated by a nil guard`
+	}
+}
+
+func (s *sim) localCopy() {
+	rec := s.rec
+	rec.hook() // want `call to recorder\.hook is not dominated by a nil guard`
+}
+
+// localCopyGuarded: the guard matches the local alias it checks.
+func (s *sim) localCopyGuarded() {
+	rec := s.rec
+	if rec != nil {
+		rec.hook()
+	}
+}
+
+func (s *sim) loopGuard() {
+	for i := 0; i < 3; i++ {
+		if s.rec == nil {
+			continue
+		}
+		s.rec.hook()
+	}
+}
+
+// waived demonstrates a reasoned suppression.
+func (s *sim) waived() {
+	//sprintvet:ignore tracehook fixture demonstrates a reasoned waiver
+	s.rec.hook()
+}
+
+func (s *sim) bareIgnore() int {
+	return 1 /*sprintvet:ignore*/ // want `malformed //sprintvet:ignore: want`
+}
+
+func (s *sim) noReason() {
+	s.rec.hook() /*sprintvet:ignore tracehook*/ // want `a reason is required` `call to recorder\.hook is not dominated by a nil guard`
+}

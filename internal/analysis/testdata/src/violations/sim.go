@@ -1,0 +1,7 @@
+package violations
+
+type sim struct{ rec *recorder }
+
+// step calls a recorder hook without the nil guard (tracehook); it
+// lives outside the declaring file so the exemption does not apply.
+func (s *sim) step() { s.rec.hook() }

@@ -67,6 +67,8 @@ type event struct {
 }
 
 // eventBefore orders events by (atS, seq).
+//
+//sprint:hotpath
 func eventBefore(a, b event) bool {
 	if a.atS != b.atS {
 		return a.atS < b.atS
@@ -84,13 +86,18 @@ type eventQueue struct {
 	a []event
 }
 
+//sprint:hotpath
 func (q *eventQueue) len() int { return len(q.a) }
 
 // top returns the earliest event without removing it; the caller must
 // ensure the queue is non-empty.
+//
+//sprint:hotpath
 func (q *eventQueue) top() event { return q.a[0] }
 
 // push schedules an event, sifting it up from the tail.
+//
+//sprint:hotpath
 func (q *eventQueue) push(ev event) {
 	q.a = append(q.a, ev)
 	i := len(q.a) - 1
@@ -105,6 +112,8 @@ func (q *eventQueue) push(ev event) {
 }
 
 // pop removes and returns the earliest event.
+//
+//sprint:hotpath
 func (q *eventQueue) pop() event {
 	ev := q.a[0]
 	n := len(q.a) - 1
@@ -143,6 +152,8 @@ func (q *eventQueue) pop() event {
 // churn failures) stay on the driver heap; the sequence counter is global
 // either way, so the K-way merge pops events in exactly the order the
 // single heap would have.
+//
+//sprint:hotpath
 func (s *sim) push(ev event) {
 	ev.seq = s.seq
 	s.seq++

@@ -444,6 +444,8 @@ type node struct {
 }
 
 // outstanding counts in-service plus queued copies.
+//
+//sprint:hotpath
 func (n *node) outstanding() int {
 	c := len(n.queue) - n.head
 	if n.busy {
@@ -729,6 +731,8 @@ func (s *sim) run(ctx context.Context) (Metrics, error) {
 // the event's firing time. It is shared by every engine — sequential,
 // serialized-merge, and the per-worker parallel loops — so the handlers
 // themselves cannot tell which one is driving.
+//
+//sprint:hotpath
 func (s *sim) handle(ev event) {
 	switch ev.kind {
 	case evHedge:
@@ -759,6 +763,8 @@ func (s *sim) handle(ev event) {
 // the node it would have joined (nil only when no live node exists, in
 // which case the most recently failed node carries the attribution so
 // per-node drops always sum to the fleet total).
+//
+//sprint:hotpath
 func (s *sim) drop(ri int32, n *node) {
 	r := &s.reqs[ri]
 	r.dropped = true
@@ -780,6 +786,8 @@ func (s *sim) drop(ri int32, n *node) {
 }
 
 // dispatch routes a fresh arrival to the policy-chosen node.
+//
+//sprint:hotpath
 func (s *sim) dispatch(ri int32) {
 	r := &s.reqs[ri]
 	rr0 := s.rr
@@ -806,6 +814,8 @@ func (s *sim) dispatch(ri int32) {
 // hedge duplicates a still-unfinished request to a second node. A hedge
 // that finds no spare capacity anywhere is suppressed — the original copy
 // stands alone — and counted in Metrics.HedgesSuppressed.
+//
+//sprint:hotpath
 func (s *sim) hedge(ri int32) {
 	r := &s.reqs[ri]
 	if r.doneS >= 0 || r.dropped {
@@ -830,6 +840,8 @@ func (s *sim) hedge(ri int32) {
 // redispatch fails a request copy over to a fresh node after its original
 // node died: the standard policy selection, with a drop (attributed to the
 // would-be node) when nothing has queue space.
+//
+//sprint:hotpath
 func (s *sim) redispatch(ri int32) {
 	r := &s.reqs[ri]
 	rr0 := s.rr
@@ -856,6 +868,8 @@ func (s *sim) redispatch(ri int32) {
 
 // enqueue places a copy on the node, starting service if it is idle, and
 // refreshes the node's routing key.
+//
+//sprint:hotpath
 func (s *sim) enqueue(n *node, c reqCopy) {
 	s.reqs[c.req].copies++
 	if !n.busy {
@@ -878,6 +892,8 @@ func (s *sim) enqueue(n *node, c reqCopy) {
 // keeps busy nodes under the same drain key and idle nodes under the
 // governor budget instant tKey; a node at queue capacity leaves the
 // trees entirely (it is only ever the drop-attribution fallback).
+//
+//sprint:hotpath
 func (s *sim) touch(n *node) {
 	if s.segs == nil {
 		return
@@ -910,6 +926,8 @@ func (s *sim) touch(n *node) {
 // fleet shares one key, preserving the rotating tie-break). With a
 // non-refilling platform (drainW ≤ 0) the budget is static and −remJ
 // gives the same ordering.
+//
+//sprint:hotpath
 func (s *sim) tKey(n *node) float64 {
 	cl := s.cl(n)
 	remJ := n.gov.RemainingJ()
@@ -923,6 +941,8 @@ func (s *sim) tKey(n *node) float64 {
 // since its last activity, the node's rack (if any) rules on sprint
 // admission, then the governed slicing determines service time and energy.
 // A rack-denied service runs entirely on the sustained core.
+//
+//sprint:hotpath
 func (s *sim) startService(n *node, c reqCopy) {
 	workS := s.reqs[c.req].workS
 	if gap := s.nowS - n.gov.Now(); gap > 0 {
@@ -972,6 +992,8 @@ func (s *sim) startService(n *node, c reqCopy) {
 // phase's duration (always a contiguous prefix of the service — the
 // thermal budget only drains while serving, so once degraded a service
 // never sprints again), and whether the whole request ran at full width.
+//
+//sprint:hotpath
 func (s *sim) serve(n *node, workS float64) (serviceS, energyJ, sprintS float64, full bool) {
 	cl := s.cl(n)
 	sprintW := cl.sprintW
@@ -1010,6 +1032,8 @@ func (s *sim) serve(n *node, workS float64) (serviceS, energyJ, sprintS float64,
 // complete finishes the node's in-service copy and starts the next live
 // queued copy, lazily cancelling copies whose request already finished
 // elsewhere.
+//
+//sprint:hotpath
 func (s *sim) complete(n *node) {
 	c := n.cur
 	n.busy = false
@@ -1076,6 +1100,8 @@ func (s *sim) complete(n *node) {
 // It is an estimator, not the simulator (queued services will also spend
 // budget), but it is exactly the "most usable thermal headroom" signal
 // sprint-aware dispatch routes on.
+//
+//sprint:hotpath
 func (s *sim) estFinishAt(n *node, workS float64) float64 {
 	cl := s.cl(n)
 	startS := s.nowS
@@ -1104,6 +1130,8 @@ func (s *sim) estFinishAt(n *node, workS float64) float64 {
 // node's backlog drains at full sprint width, −Inf when idle. Ordering
 // nodes by it is ordering by outstanding work (every candidate shares the
 // same now), but the key changes only when the node's state does.
+//
+//sprint:hotpath
 func (n *node) drainKey() float64 {
 	if n.busy {
 		return n.busyUntilS + n.queuedNaiveS
@@ -1122,6 +1150,8 @@ func (n *node) drainKey() float64 {
 // deterministic and an all-idle fleet spreads consecutive arrivals
 // instead of herding onto node 0. The indexed and linear-scan selectors
 // implement identical semantics; see index.go.
+//
+//sprint:hotpath
 func (s *sim) selectNode(workS float64, exclude int) *node {
 	if s.cfg.Policy == RoundRobin {
 		// The dispatcher is state-blind but not necromantic: it skips dead
@@ -1194,11 +1224,14 @@ func (s *sim) selectNode(workS float64, exclude int) *node {
 // immediately (the idle champion already scores the bound's minimum),
 // and only in a saturated fleet of depleted budgets widens toward the
 // old full scan.
+//
+//sprint:hotpath
 func (s *sim) sprintAwareMin(rot int, workS float64) *node {
 	nn := len(s.nodes)
 	var best *node
 	var bestScore float64
 	bestRot := 0
+	//sprintvet:ignore allocfree take is called only from this frame and never escapes, so it is stack-allocated; TestSimulateSteadyStateAllocations pins the steady-state loop alloc-free
 	take := func(id int) {
 		n := &s.nodes[id]
 		sc := s.estFinishAt(n, workS)

@@ -100,6 +100,8 @@ func (t *dispatchIndex) reset(d float64) {
 
 // keyLess orders keys lexicographically: present before absent/full,
 // then by key value.
+//
+//sprint:hotpath
 func keyLess(f1 bool, d1 float64, f2 bool, d2 float64) bool {
 	if f1 != f2 {
 		return !f1
@@ -108,6 +110,8 @@ func keyLess(f1 bool, d1 float64, f2 bool, d2 float64) bool {
 }
 
 // pull recomputes an interior slot from its children.
+//
+//sprint:hotpath
 func (t *dispatchIndex) pull(i int) {
 	l, r := 2*i, 2*i+1
 	if keyLess(t.full[r], t.d[r], t.full[l], t.d[l]) {
@@ -118,6 +122,8 @@ func (t *dispatchIndex) pull(i int) {
 }
 
 // update replaces node id's key and refreshes the path to the root.
+//
+//sprint:hotpath
 func (t *dispatchIndex) update(id int, full bool, d float64) {
 	i := t.size + id
 	t.full[i], t.d[i] = full, d
@@ -129,6 +135,8 @@ func (t *dispatchIndex) update(id int, full bool, d float64) {
 // disable temporarily removes node id from consideration (hedging never
 // duplicates onto the original copy's node); the caller restores the
 // returned key with update afterwards.
+//
+//sprint:hotpath
 func (t *dispatchIndex) disable(id int) (full bool, d float64) {
 	i := t.size + id
 	full, d = t.full[i], t.d[i]
@@ -142,6 +150,8 @@ func (t *dispatchIndex) disable(id int) (full bool, d float64) {
 // the first minimum it meets walking (start+i) mod n. Since the root
 // aggregate is the global minimum, "key equal to it" and "key at most
 // it" coincide, so the descent is firstLE at that threshold.
+//
+//sprint:hotpath
 func (t *dispatchIndex) argmin(start int) int {
 	if t.full[1] {
 		return -1
@@ -154,6 +164,8 @@ func (t *dispatchIndex) argmin(start int) int {
 // resolve the rotating tie among every idle node whose projected budget
 // covers the request at full width; argmin uses it with the root's own
 // minimum as the threshold.
+//
+//sprint:hotpath
 func (t *dispatchIndex) firstLE(start int, thresh float64) int {
 	if t.full[1] || t.d[1] > thresh {
 		return -1
@@ -166,6 +178,8 @@ func (t *dispatchIndex) firstLE(start int, thresh float64) int {
 
 // firstLERange is firstEq's ≤-threshold analogue: a subtree whose
 // minimum present key exceeds thresh contains no qualifying leaf.
+//
+//sprint:hotpath
 func (t *dispatchIndex) firstLERange(node, nlo, nhi, lo, hi int, thresh float64) int {
 	if nhi <= lo || hi <= nlo || t.full[node] || t.d[node] > thresh {
 		return -1
@@ -183,6 +197,7 @@ func (t *dispatchIndex) firstLERange(node, nlo, nhi, lo, hi int, thresh float64)
 // frontier heap helpers: order by (d, idx) so the best-first enumeration
 // is deterministic.
 
+//sprint:hotpath
 func entBefore(a, b idxEnt) bool {
 	if a.d != b.d {
 		return a.d < b.d
@@ -190,6 +205,7 @@ func entBefore(a, b idxEnt) bool {
 	return a.idx < b.idx
 }
 
+//sprint:hotpath
 func (t *dispatchIndex) fpush(e idxEnt) {
 	t.scratch = append(t.scratch, e)
 	i := len(t.scratch) - 1
@@ -203,6 +219,7 @@ func (t *dispatchIndex) fpush(e idxEnt) {
 	}
 }
 
+//sprint:hotpath
 func (t *dispatchIndex) fpop() idxEnt {
 	e := t.scratch[0]
 	n := len(t.scratch) - 1

@@ -10,7 +10,10 @@
 // uncore.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Config describes the hierarchy geometry and timing.
 type Config struct {
@@ -431,8 +434,10 @@ func (h *Hierarchy) FlushL1(core int) {
 
 // CheckCoherenceInvariant verifies the single-writer/multiple-reader
 // invariant across all L1s: a line modified in one L1 must not be valid in
-// any other. It returns an error describing the first violation. Tests call
-// this after randomized workloads.
+// any other. It returns an error describing the violation on the lowest
+// offending tag, so the same broken state always reports the same line
+// regardless of map iteration order. Tests call this after randomized
+// workloads.
 func (h *Hierarchy) CheckCoherenceInvariant() error {
 	type holder struct {
 		core  int
@@ -448,7 +453,13 @@ func (h *Hierarchy) CheckCoherenceInvariant() error {
 			seen[l.tag] = append(seen[l.tag], holder{core: c, state: l.state})
 		}
 	}
-	for tag, hs := range seen {
+	tags := make([]uint64, 0, len(seen))
+	for tag := range seen {
+		tags = append(tags, tag)
+	}
+	slices.Sort(tags)
+	for _, tag := range tags {
+		hs := seen[tag]
 		writers := 0
 		for _, x := range hs {
 			if x.state == modified || x.state == exclusive {

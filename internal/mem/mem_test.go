@@ -271,3 +271,25 @@ func TestGeometryDerivation(t *testing.T) {
 		t.Errorf("line service time = %d ps, want 16000", h.linePs)
 	}
 }
+
+func TestCoherenceViolationReportIsDeterministic(t *testing.T) {
+	// Inject two independent single-writer violations and require the
+	// checker to report the lowest tag on every call: the error text must
+	// be a pure function of cache state, not of map iteration order.
+	const runs = 50
+	for i := 0; i < runs; i++ {
+		h := newHier(t, 2)
+		h.l1s[0][0] = l1Line{tag: 0x300, state: modified}
+		h.l1s[1][0] = l1Line{tag: 0x300, state: modified}
+		h.l1s[0][1] = l1Line{tag: 0x200, state: modified}
+		h.l1s[1][1] = l1Line{tag: 0x200, state: shared}
+		err := h.CheckCoherenceInvariant()
+		if err == nil {
+			t.Fatal("injected violations not detected")
+		}
+		want := "mem: line 0x200 violates single-writer: 2 holders, 1 writers"
+		if err.Error() != want {
+			t.Fatalf("run %d: error = %q, want %q", i, err, want)
+		}
+	}
+}
