@@ -16,7 +16,9 @@
 # refreshes the baseline after an intentional perf change; `make lint`
 # is the static gate — gofmt, go vet, the first-party sprintvet
 # analyzers (determinism and hot-path contracts), and govulncheck when
-# it is installed.
+# it is installed; `make fuzz-smoke` gives the scenario-JSON fuzzer a
+# short budget; `make reliability` demos the request-reliability layer
+# (gray stragglers, client timeouts, a budgeted retry storm).
 
 GO ?= go
 
@@ -34,7 +36,7 @@ TOLERANCE ?= 1.5
 # note instead of a false verdict.
 MIN_SPEEDUP ?= BenchmarkFleetScaleDecoupledParallel=3
 
-.PHONY: all build test bench benchsmoke bench-json bench-gate bench-baseline vet lint fleet rack scenario trace
+.PHONY: all build test bench benchsmoke bench-json bench-gate bench-baseline vet lint fuzz-smoke fleet rack scenario trace reliability
 
 all: build
 
@@ -64,6 +66,11 @@ lint: vet
 test: vet
 	$(GO) test -race ./...
 
+# A short-budget fuzz pass over the scenario JSON loader: enough to catch
+# a fresh panic in parsing/validation without holding up CI.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzScenarioJSON -fuzztime 10s ./internal/fleet
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
@@ -71,7 +78,7 @@ benchsmoke:
 	$(GO) test -bench=. -benchtime=1x -timeout 10m -run=^$$ .
 
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkFleetScale|BenchmarkFleetSweep|BenchmarkRackSweep|BenchmarkFleetScenario|BenchmarkFleetTrace' \
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetScale|BenchmarkFleetSweep|BenchmarkRackSweep|BenchmarkFleetScenario|BenchmarkFleetTrace|BenchmarkFleetReliability' \
 		-benchmem -benchtime=1x -timeout 10m . > BENCH_fleet.txt
 	cat BENCH_fleet.txt
 	$(GO) run ./cmd/benchjson < BENCH_fleet.txt > BENCH_fleet.json
@@ -97,3 +104,8 @@ trace:
 	$(GO) run ./cmd/fleetsim -scenario examples/scenarios/flashcrowd.json \
 		-policy sprint-aware -coordination token-permit \
 		-trace TRACE_flashcrowd.jsonl -trace-level full -trace-summary
+
+reliability:
+	$(GO) run ./cmd/fleetsim -nodes 16 -requests 20000 -policy least-loaded \
+		-gray-frac 0.2 -gray-slowdown 6 -timeout-s 5 -max-retries 8 \
+		-retry-backoff-s 0.1 -retry-budget 0.7

@@ -369,6 +369,44 @@ func BenchmarkFleetScenarioHetero(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetReliability measures the request-reliability layer at
+// scale: a 1000-node fleet riding out a flash crowd with gray stragglers,
+// correlated rack power loss, client timeouts, and budgeted retries — the
+// timeout/retry/shed handlers, stale-copy checks, and token bucket all on
+// the hot path beside ordinary dispatch.
+func BenchmarkFleetReliability(b *testing.B) {
+	cfg := sprinting.DefaultFleetConfig(sprinting.FleetLeastLoaded)
+	cfg.Nodes = 1000
+	cfg.Coordination = sprinting.RackTokenPermit
+	cfg.RackSize = 16
+	cfg.Reliability = sprinting.FleetReliability{
+		TimeoutS:        5,
+		MaxRetries:      3,
+		RetryBackoffS:   0.1,
+		RetryBudgetPerS: 0.1 * 0.9 * 1000 / 2,
+		RetryBurst:      32,
+		GrayFrac:        0.1,
+		GraySlowdownX:   6,
+		FaultProb:       0.01,
+	}
+	sc := sprinting.FleetScenario{
+		BaseRatePerS: 0.9 * 1000 / 2,
+		Phases: []sprinting.ScenarioPhase{
+			{Name: "baseline", DurationS: 60, StartFactor: 0.7},
+			{Name: "surge", DurationS: 40, StartFactor: 1.4},
+			{Name: "recovery", DurationS: 60, Shape: sprinting.ScenarioDecay, StartFactor: 1.4, EndFactor: 0.5},
+		},
+		Churn: sprinting.ScenarioChurn{MTBFS: 2, MeanDowntimeS: 5, RackMTBFS: 40, RackMeanDowntimeS: 5},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sprinting.SimulateScenario(sprinting.ScenarioConfig{Fleet: cfg, Scenario: sc}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSprintRunSobel16 measures one full co-simulated 16-core sprint
 // (machine + thermal + runtime) on the default sobel input.
 func BenchmarkSprintRunSobel16(b *testing.B) {

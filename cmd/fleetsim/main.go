@@ -29,6 +29,19 @@
 //	fleetsim -nodes 10000 -requests 1000000 -shard-workers 8 # sharded loop
 //	fleetsim -nodes 10000 -requests 1000000 -cpuprofile fleet.pprof
 //	fleetsim -policy sprint-aware -trace out.jsonl -trace-summary
+//	fleetsim -gray-frac 0.15 -gray-slowdown 8 -timeout-s 6 \
+//	    -max-retries 3 -retry-budget 5          # fault injection + budgeted retries
+//
+// The reliability flags arm the request-reliability layer: -gray-frac /
+// -gray-slowdown plant gray stragglers (alive but slowed — queue-aware
+// policies can see the backlog, blind ones cannot), -fault-prob injects
+// transient service faults, and -timeout-s arms client-side timeouts
+// whose expired attempts retry with exponential backoff up to
+// -max-retries, capped fleet-wide by the -retry-budget token bucket
+// (an empty bucket sheds the request instead of retrying — the
+// defense against retry-storm metastability). The report then adds
+// goodput (completed work only, vs throughput's all-services rate),
+// timed-out/shed counts, and the retry-amplification factor.
 //
 // Traces above 131072 requests stream latencies through a log-scale
 // histogram (quantiles within 1.81%, mean/max exact) unless
@@ -142,9 +155,27 @@ func printScenarioReport(path string, scen sprinting.FleetScenario, metrics []sp
 		if m.Coordination != sprinting.RackNoCoordination {
 			fmt.Fprintf(stdout, ", %d trips, permit-denial %.1f%%", m.BreakerTrips, 100*m.PermitDenialRate)
 		}
+		if m.RackFailures > 0 {
+			fmt.Fprintf(stdout, ", %d rack failures", m.RackFailures)
+		}
+		if m.TimedOut+m.Shed+m.Retries+m.TransientFaults+m.GrayNodes > 0 {
+			fmt.Fprintf(stdout, "\nreliability: goodput %.3f req/s, %d timed out, %d shed, %d retries (amplification %.2fx), %d transient faults, %d gray nodes",
+				m.GoodputRPS, m.TimedOut, m.Shed, m.Retries, m.RetryAmplification, m.TransientFaults, m.GrayNodes)
+		}
 		fmt.Fprintln(stdout)
 	}
 	fmt.Fprintln(stdout, "\nphases attribute requests to their arrival window; sprint-aware dispatch rides a flash crowd on remaining thermal headroom")
+}
+
+// printReliabilityLine appends one run's reliability-layer outcome below
+// its report row; a run with the layer off (nothing timed out, shed,
+// retried, faulted, or gray) prints nothing.
+func printReliabilityLine(stdout io.Writer, m sprinting.FleetMetrics) {
+	if m.TimedOut+m.Shed+m.Retries+m.TransientFaults+m.GrayNodes == 0 {
+		return
+	}
+	fmt.Fprintf(stdout, "%-14s goodput %.3f req/s, %d timed out, %d shed, %d retries (amplification %.2fx), %d transient faults, %d gray nodes\n",
+		"", m.GoodputRPS, m.TimedOut, m.Shed, m.Retries, m.RetryAmplification, m.TransientFaults, m.GrayNodes)
 }
 
 // writeTrace serializes the recording as JSONL; the file is the durable
@@ -234,6 +265,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 		scenarioPath = fs.String("scenario", "", "JSON scenario file: load phases/ramps, ambient swings, node classes, churn (supersedes -requests and -rate)")
 
+		timeoutS      = fs.Float64("timeout-s", 0, "client-side per-request timeout in seconds; an expired attempt retries with exponential backoff (0 disables timeouts)")
+		maxRetries    = fs.Int("max-retries", 0, "retries per request before it terminally times out (needs -timeout-s or -fault-prob; 0 = no retries)")
+		retryBackoffS = fs.Float64("retry-backoff-s", 0, "base retry backoff in seconds, doubling per attempt with seeded jitter (needs -timeout-s or -fault-prob; 0 = default 0.1)")
+		retryBudget   = fs.Float64("retry-budget", 0, "fleet-wide retry budget in tokens/s — a token-bucket cap on retry rate; an empty bucket sheds the request (needs -timeout-s or -fault-prob; 0 = unbudgeted)")
+		retryBurst    = fs.Float64("retry-burst", 0, "retry-budget bucket depth in tokens (needs -retry-budget; 0 = max(1, budget))")
+		grayFrac      = fs.Float64("gray-frac", 0, "fraction of nodes made gray stragglers — alive but slowed (0 disables gray failures)")
+		graySlowdown  = fs.Float64("gray-slowdown", 0, "service-time multiplier on gray nodes (needs -gray-frac; 0 = default 4)")
+		faultProb     = fs.Float64("fault-prob", 0, "probability a completed service faults and the client must retry (0 disables transient faults)")
+
 		tracePath       = fs.String("trace", "", "attach the flight recorder and write the recording as JSONL to this file (records one run: pick a single -policy and -coordination)")
 		traceLevel      = fs.String("trace-level", "decisions", "flight-recorder capture level: decisions|full (needs -trace)")
 		counterfactualK = fs.Int("counterfactual-k", 0, "record this many rejected alternatives per decision and probe their counterfactual finish times (0 = default 3; needs -trace)")
@@ -264,6 +304,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if set["hedge-s"] && *policy != "hedged" && *policy != "all" {
 		fmt.Fprintf(stderr, "fleetsim: -hedge-s only applies to the hedged policy (got -policy %s)\n", *policy)
+		return 2
+	}
+	for _, f := range []string{"max-retries", "retry-backoff-s", "retry-budget"} {
+		if set[f] && !set["timeout-s"] && !set["fault-prob"] {
+			fmt.Fprintf(stderr, "fleetsim: -%s parameterizes retries, but nothing triggers them (add -timeout-s or -fault-prob)\n", f)
+			return 2
+		}
+	}
+	if set["retry-burst"] && !set["retry-budget"] {
+		fmt.Fprintln(stderr, "fleetsim: -retry-burst sizes the retry-budget bucket (add -retry-budget)")
+		return 2
+	}
+	if set["gray-slowdown"] && !set["gray-frac"] {
+		fmt.Fprintln(stderr, "fleetsim: -gray-slowdown needs gray nodes to slow (add -gray-frac)")
 		return 2
 	}
 	if *scenarioPath != "" {
@@ -361,6 +415,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				cfg.RackBufferJ = *rackBufferJ
 				cfg.SprintPermits = *permits
 				cfg.BreakerRecoveryS = *recoveryS
+				cfg.Reliability = sprinting.FleetReliability{
+					TimeoutS: *timeoutS, MaxRetries: *maxRetries, RetryBackoffS: *retryBackoffS,
+					RetryBudgetPerS: *retryBudget, RetryBurst: *retryBurst,
+					GrayFrac: *grayFrac, GraySlowdownX: *graySlowdown, FaultProb: *faultProb,
+				}
 				cfg.Workers = *shardWorkers
 				cfg.Trace = traceCfg
 				scs = append(scs, sprinting.ScenarioConfig{Fleet: cfg, Scenario: scen})
@@ -402,6 +461,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			cfg.RackBufferJ = *rackBufferJ
 			cfg.SprintPermits = *permits
 			cfg.BreakerRecoveryS = *recoveryS
+			cfg.Reliability = sprinting.FleetReliability{
+				TimeoutS: *timeoutS, MaxRetries: *maxRetries, RetryBackoffS: *retryBackoffS,
+				RetryBudgetPerS: *retryBudget, RetryBurst: *retryBurst,
+				GrayFrac: *grayFrac, GraySlowdownX: *graySlowdown, FaultProb: *faultProb,
+			}
 			cfg.Workers = *shardWorkers
 			cfg.Trace = traceCfg
 			cfgs = append(cfgs, cfg)
@@ -472,6 +536,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				m.Policy.String(), m.Coordination.String(), m.ThroughputRPS,
 				m.P50S, m.P99S, m.P999S, m.BreakerTrips, m.RackThrottledS,
 				100*m.PermitDenialRate, m.Dropped, m.EnergyPerRequestJ)
+			printReliabilityLine(stdout, m)
 		}
 		fmt.Fprintln(stdout, "\nuncoordinated sprints can trip the rack breaker; token permits make trips impossible by construction")
 		if tr != nil && *traceSummary {
@@ -491,6 +556,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-14s %d hedges issued, %d won, %d copies cancelled, %d suppressed (no spare capacity), %.0f J total service energy\n",
 				"", m.HedgesIssued, m.HedgeWins, m.CancelledCopies, m.HedgesSuppressed, m.TotalEnergyJ)
 		}
+		printReliabilityLine(stdout, m)
 	}
 	fmt.Fprintln(stdout, "\nsprint-aware dispatch routes on thermal headroom; hedging trades duplicated energy for tail latency")
 	if tr != nil && *traceSummary {

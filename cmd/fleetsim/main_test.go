@@ -400,6 +400,57 @@ func TestTraceScenarioOutput(t *testing.T) {
 	}
 }
 
+// TestReliabilityFlagCoherence extends the coherence contract to the
+// reliability layer: retry knobs demand a retry trigger (-timeout-s or
+// -fault-prob), -retry-burst demands -retry-budget, and -gray-slowdown
+// demands -gray-frac.
+func TestReliabilityFlagCoherence(t *testing.T) {
+	cases := [][]string{
+		{"-max-retries", "3"}, // retry knobs with nothing to trigger them
+		{"-retry-backoff-s", "0.2"},
+		{"-retry-budget", "5"},
+		{"-retry-burst", "10", "-timeout-s", "4"}, // burst without a budget
+		{"-gray-slowdown", "8"},                   // slowdown without gray nodes
+		{"-timeout-s", "-1"},                      // invalid values reach Validate via exit 1, not 2
+	}
+	for _, args := range cases[:len(cases)-1] {
+		var out, errb bytes.Buffer
+		if code := run(context.Background(), args, &out, &errb); code != 2 {
+			t.Errorf("%v: want exit 2, got %d (stderr: %s)", args, code, errb.String())
+		}
+	}
+	if _, code := runOut(t, "-nodes", "4", "-requests", "100", "-timeout-s", "-1"); code != 1 {
+		t.Errorf("negative -timeout-s should exit 1 via Validate, got %d", code)
+	}
+	good := [][]string{
+		{"-nodes", "4", "-requests", "200", "-timeout-s", "5", "-max-retries", "2", "-retry-budget", "5", "-retry-burst", "10"},
+		{"-nodes", "4", "-requests", "200", "-fault-prob", "0.05", "-max-retries", "2"},
+		{"-nodes", "4", "-requests", "200", "-gray-frac", "0.25", "-gray-slowdown", "6"},
+	}
+	for _, args := range good {
+		var out, errb bytes.Buffer
+		if code := run(context.Background(), args, &out, &errb); code != 0 {
+			t.Errorf("%v: want exit 0, got %d (stderr: %s)", args, code, errb.String())
+		}
+	}
+}
+
+// TestReliabilityReported drives fault injection end to end: gray nodes
+// plus a tight timeout must surface the reliability line with goodput,
+// retry, and gray-node counts.
+func TestReliabilityReported(t *testing.T) {
+	out, code := runOut(t, "-nodes", "4", "-requests", "800", "-policy", "least-loaded",
+		"-gray-frac", "0.5", "-gray-slowdown", "8", "-timeout-s", "4", "-max-retries", "2")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"goodput", "timed out", "shed", "amplification", "2 gray nodes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestTraceUnwritablePathFails: a trace destination that cannot be
 // created fails the run after simulation with exit 1.
 func TestTraceUnwritablePathFails(t *testing.T) {

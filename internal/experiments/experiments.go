@@ -118,6 +118,7 @@ func Registry() []Driver {
 		{ID: "fleet_policy", Title: "Fleet study: dispatch policies × loads × fleet sizes of sprinting nodes (extension)", Run: FleetPolicy},
 		{ID: "rack_coordination", Title: "Rack study: shared-power sprint coordination × rack sizes × loads (extension)", Run: RackCoordination},
 		{ID: "fleet_scenarios", Title: "Scenario study: flash crowds × dispatch × coordination, per phase (extension)", Run: FleetScenarios},
+		{ID: "fleet_reliability", Title: "Reliability study: retry storms vs retry budgets under gray failures (extension)", Run: FleetReliability},
 	}
 }
 

@@ -15,7 +15,7 @@ func quickOpt() Options { return Options{Scale: 0.12, Seed: 7} }
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	want := []string{"fig1", "table1", "fig2", "fig3", "fig4a", "fig4b", "fig5", "fig6",
 		"sec6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "designspace", "session", "fleet_policy",
-		"rack_coordination", "fleet_scenarios"}
+		"rack_coordination", "fleet_scenarios", "fleet_reliability"}
 	got := Registry()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d drivers, want %d", len(got), len(want))
@@ -196,6 +196,62 @@ func TestRackCoordinationHeadlineContrast(t *testing.T) {
 	}
 	if checked != 2 {
 		t.Fatalf("expected the contrast in both rack-size tables, checked %d", checked)
+	}
+}
+
+// TestFleetReliabilityRetryStorm pins the reliability study's headline
+// at full scale: against gray stragglers, client timeouts with
+// unbudgeted retries ignite a retry storm — dispatch attempts amplify
+// beyond 2× offered load and goodput collapses below 80% of the
+// fault-free run — while the fleet-wide retry budget sheds the excess at
+// the client and holds goodput within 10% of fault-free. The tables must
+// also be byte-identical at any engine worker count.
+func TestFleetReliabilityRetryStorm(t *testing.T) {
+	tables, err := FleetReliability(context.Background(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 3 {
+		t.Fatalf("expected one table with three variants, got %+v", tables)
+	}
+	cell := func(row int, col int) float64 {
+		var v float64
+		if _, err := fmt.Sscanf(tables[0].Rows[row][col], "%g", &v); err != nil {
+			t.Fatalf("unparseable cell %q", tables[0].Rows[row][col])
+		}
+		return v
+	}
+	const goodputCol, ampCol, shedCol = 1, 8, 6
+	faultFree := cell(0, goodputCol)
+	unbudgeted := cell(1, goodputCol)
+	budgeted := cell(2, goodputCol)
+	if amp := cell(1, ampCol); amp <= 2 {
+		t.Errorf("unbudgeted retry amplification %.2f should exceed 2x offered load", amp)
+	}
+	if unbudgeted >= 0.8*faultFree {
+		t.Errorf("unbudgeted goodput %.3f should collapse below 80%% of fault-free %.3f", unbudgeted, faultFree)
+	}
+	if budgeted < 0.9*faultFree {
+		t.Errorf("budgeted goodput %.3f should stay within 10%% of fault-free %.3f", budgeted, faultFree)
+	}
+	if budgeted <= unbudgeted {
+		t.Errorf("the retry budget should beat the storm: %.3f <= %.3f", budgeted, unbudgeted)
+	}
+	if cell(2, shedCol) == 0 {
+		t.Error("the budgeted run should shed the excess retries it refuses")
+	}
+	// Point determinism at any engine pool width: the tables are
+	// byte-identical serial and wide.
+	for _, w := range []int{1, 8} {
+		opt := DefaultOptions()
+		opt.Workers = w
+		again, err := FleetReliability(context.Background(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(again) != fmt.Sprint(tables) {
+			t.Errorf("workers=%d changed the reliability tables", w)
+		}
 	}
 }
 

@@ -33,6 +33,20 @@ const (
 	// governor at its class's current (ambient-adjusted) budget.
 	// Scenario mode only.
 	evNodeRecover
+	// evRackFail is a correlated rack-level power loss: every live member
+	// of one churn-chosen rack fails at once (each through the same
+	// incarnation/redispatch machinery as evNodeFail) and recovers at a
+	// common instant. Scenario mode only.
+	evRackFail
+	// evTimeout expires a request attempt TimeoutS after its enqueue
+	// (gen carries the attempt; a mismatch marks an attempt the client
+	// already resolved — completion, fault, or an earlier retry).
+	// Reliability layer only.
+	evTimeout
+	// evRetry dispatches a request's next attempt after its seeded
+	// exponential backoff (gen carries the attempt it dispatches).
+	// Reliability layer only.
+	evRetry
 )
 
 // event is one entry of the simulation's future-event list. It is a plain
@@ -56,7 +70,8 @@ type event struct {
 	// gen must match the rack's current trip generation for evBreakerTrip
 	// to fire, or the node's incarnation for evComplete/evSprintEnd (a
 	// mismatch marks an event scheduled against a node that has since
-	// failed).
+	// failed); evTimeout/evRetry reuse it for the request's attempt
+	// counter, staled the same way by client-side retries.
 	gen uint64
 	// req indexes sim.reqs (evHedge) or carries the phase index
 	// (evPhase); node and rack index their arrays.

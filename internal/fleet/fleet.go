@@ -150,6 +150,71 @@ type Config struct {
 	// BreakerRecoveryS is how long a tripped rack stays forced to
 	// nominal before the breaker resets; 0 selects 2 s.
 	BreakerRecoveryS float64
+
+	// Reliability configures the request-reliability layer: client-side
+	// timeouts and budgeted retries, plus gray-failure and transient-fault
+	// injection. The zero value disables it entirely — the simulator then
+	// carries no reliability state and the hot path pays a single nil
+	// check (see relState).
+	Reliability Reliability
+}
+
+// Reliability parameterizes the request-reliability layer. Three knobs
+// arm it — TimeoutS, GrayFrac, FaultProb — and the zero value keeps it
+// off; see Config.Reliability.
+//
+// Client-side recovery: a dispatched attempt that has not completed
+// TimeoutS after enqueue expires (evTimeout, staled by the request's
+// attempt counter exactly as evComplete is staled by a node's
+// incarnation). An expired or faulted attempt retries up to MaxRetries
+// times with seeded exponential backoff, each retry drawing one token
+// from a fleet-wide token-bucket retry budget; with the bucket empty the
+// request is shed (terminal). A request whose retries are exhausted is
+// TimedOut (terminal). Every terminal state is counted exactly once, so
+// Completed+Dropped+TimedOut+Shed == Requests always holds.
+//
+// Fault injection: GrayFrac marks a seeded subset of nodes as gray —
+// stragglers, not corpses: their services stretch by GraySlowdownX, with
+// the extra time billed at nominal power while the thermal budget
+// refills (the core is stalled, not computing). FaultProb fails a
+// completed service's response with that probability; the client treats
+// it like a timeout and retries.
+type Reliability struct {
+	// TimeoutS is the per-attempt client deadline in seconds, measured
+	// from the attempt's enqueue; 0 disables timeouts.
+	TimeoutS float64
+	// MaxRetries is how many retry attempts follow an expired or faulted
+	// first attempt before the request is terminally TimedOut (0 = the
+	// first attempt is the only one).
+	MaxRetries int
+	// RetryBackoffS is the base of the exponential retry backoff: retry k
+	// waits RetryBackoffS·2^(k−1), jittered by a seeded ±50%; 0 selects
+	// 0.1 s when timeouts or faults are enabled.
+	RetryBackoffS float64
+	// RetryBudgetPerS is the fleet-wide token-bucket retry budget in
+	// retries per second; a retry wanted while the bucket is empty sheds
+	// the request instead. 0 leaves retries unbudgeted.
+	RetryBudgetPerS float64
+	// RetryBurst is the token bucket's capacity (and initial charge);
+	// 0 selects max(1, RetryBudgetPerS).
+	RetryBurst float64
+	// GrayFrac is the fraction of the fleet seeded as gray stragglers
+	// (rounded, at least one node when positive); 0 disables gray
+	// failures.
+	GrayFrac float64
+	// GraySlowdownX is the gray nodes' service-time multiplier (≥ 1);
+	// 0 selects 4 when GrayFrac is positive.
+	GraySlowdownX float64
+	// FaultProb is the per-service transient-fault probability in [0, 1):
+	// a faulted response is useless to the client, which retries as if the
+	// attempt had timed out.
+	FaultProb float64
+}
+
+// enabled reports whether any reliability trigger is armed; MaxRetries
+// and the budget knobs are inert without one.
+func (r Reliability) enabled() bool {
+	return r.TimeoutS > 0 || r.GrayFrac > 0 || r.FaultProb > 0
 }
 
 // DefaultConfig returns a 16-node fleet of the paper's 16 W / 1 W phone
@@ -212,6 +277,17 @@ func (c Config) withDefaults() Config {
 			c.BreakerRecoveryS = 2
 		}
 	}
+	if c.Reliability.TimeoutS > 0 || c.Reliability.FaultProb > 0 {
+		if c.Reliability.RetryBackoffS == 0 {
+			c.Reliability.RetryBackoffS = 0.1
+		}
+	}
+	if c.Reliability.GrayFrac > 0 && c.Reliability.GraySlowdownX == 0 {
+		c.Reliability.GraySlowdownX = 4
+	}
+	if c.Reliability.RetryBudgetPerS > 0 && c.Reliability.RetryBurst == 0 {
+		c.Reliability.RetryBurst = math.Max(1, c.Reliability.RetryBudgetPerS)
+	}
 	return c
 }
 
@@ -272,6 +348,27 @@ func (c Config) Validate() error {
 			return fmt.Errorf("fleet: breaker recovery window must be positive")
 		}
 	}
+	rl := c.Reliability
+	switch {
+	case rl.TimeoutS < 0 || math.IsInf(rl.TimeoutS, 0) || math.IsNaN(rl.TimeoutS):
+		return fmt.Errorf("fleet: request timeout must be finite and non-negative")
+	case rl.MaxRetries < 0 || rl.MaxRetries > 100:
+		// request.attempt is a uint8 arena field; 100 is far past any
+		// sane retry policy anyway.
+		return fmt.Errorf("fleet: max retries must be in [0, 100]")
+	case rl.RetryBackoffS < 0:
+		return fmt.Errorf("fleet: retry backoff must be non-negative")
+	case rl.RetryBudgetPerS < 0 || math.IsInf(rl.RetryBudgetPerS, 0) || math.IsNaN(rl.RetryBudgetPerS):
+		return fmt.Errorf("fleet: retry budget must be finite and non-negative")
+	case rl.RetryBurst < 0:
+		return fmt.Errorf("fleet: retry burst must be non-negative")
+	case rl.GrayFrac < 0 || rl.GrayFrac > 1 || math.IsNaN(rl.GrayFrac):
+		return fmt.Errorf("fleet: gray fraction must be in [0, 1]")
+	case rl.GrayFrac > 0 && rl.GraySlowdownX < 1:
+		return fmt.Errorf("fleet: gray slowdown must be at least 1")
+	case rl.FaultProb < 0 || rl.FaultProb >= 1 || math.IsNaN(rl.FaultProb):
+		return fmt.Errorf("fleet: fault probability must be in [0, 1)")
+	}
 	return c.Node.Validate()
 }
 
@@ -294,6 +391,14 @@ type NodeStats struct {
 	// Failures counts scenario churn failures of this node (0 outside
 	// scenario mode).
 	Failures int
+	// TimedOut counts requests that exhausted their retries while this
+	// node held their last attempt; per-node timeouts always sum to
+	// Metrics.TimedOut. Retries counts retry attempts enqueued onto this
+	// node. Gray marks the node a seeded gray straggler. (Reliability
+	// layer only; see Config.Reliability.)
+	TimedOut int
+	Retries  int
+	Gray     bool
 	// Rack is the node's rack index (0 when coordination is disabled).
 	Rack int
 	// EnergyJ is the service energy the node drew (sprint slices at sprint
@@ -309,9 +414,24 @@ type Metrics struct {
 	Policy Policy
 
 	// Requests / Completed / Dropped count the offered trace and its fate.
+	// With the reliability layer armed two further terminal states exist —
+	// TimedOut (retries exhausted) and Shed (retry wanted but the fleet-
+	// wide budget was empty) — and every request lands in exactly one:
+	// Completed + Dropped + TimedOut + Shed == Requests always.
 	Requests  int
 	Completed int
 	Dropped   int
+	TimedOut  int
+	Shed      int
+
+	// Reliability-layer work accounting (zero when Config.Reliability is
+	// off): Retries counts retry attempts dispatched; TransientFaults the
+	// injected per-service response faults; WastedServices the services
+	// that completed for an attempt the client had already abandoned
+	// (their energy and node time are real, their response is useless).
+	Retries         int
+	TransientFaults int
+	WastedServices  int
 
 	// HedgesIssued counts duplicated dispatches, HedgeWins the requests
 	// whose hedge copy replied first, and CancelledCopies queued copies
@@ -326,10 +446,21 @@ type Metrics struct {
 	// policy was starved of spare capacity.
 	HedgesSuppressed int
 
-	// SimS is the instant the last service completed; ThroughputRPS is
-	// Completed / SimS.
-	SimS          float64
-	ThroughputRPS float64
+	// SimS is the instant the last service completed. ThroughputRPS is
+	// the rate of service completions that delivered a response —
+	// useful or not: (Completed + WastedServices + TransientFaults) /
+	// SimS, which reduces to Completed / SimS whenever the reliability
+	// layer is off. GoodputRPS is the rate of client-useful completions,
+	// Completed / SimS; the gap between the two is the work a retry storm
+	// burns. RetryAmplification is dispatch attempts per offered request,
+	// (Requests + Retries) / Requests.
+	SimS               float64
+	ThroughputRPS      float64
+	GoodputRPS         float64
+	RetryAmplification float64
+	// GrayNodes is how many nodes the reliability layer seeded as gray
+	// stragglers (0 when off).
+	GrayNodes int
 
 	// Latency percentiles over completed requests (completion − arrival).
 	// Mean and max are always exact; with ApproxQuantiles set the
@@ -383,6 +514,10 @@ type Metrics struct {
 	NodeFailures   int
 	NodeRecoveries int
 	Redispatches   int
+	// RackFailures counts correlated rack power-loss events (each one
+	// fails every live member of a rack at once; the member failures are
+	// also in NodeFailures).
+	RackFailures int
 	// Phases is the per-phase breakdown, one entry per Scenario phase in
 	// declaration order.
 	Phases []PhaseMetrics
@@ -403,13 +538,24 @@ type request struct {
 	phase   int16
 	copies  int16
 	dropped bool
+	// attempt is the request's client-side attempt counter (reliability
+	// layer only): bumped on every timeout or fault, it stales the
+	// expired attempt's in-flight copies and pending timeout exactly as a
+	// node's incarnation stales its scheduled events. timedOut and shed
+	// mark the two reliability-terminal states.
+	attempt  uint8
+	timedOut bool
+	shed     bool
 }
 
 // reqCopy is one dispatched copy of a request (hedging can make two): an
-// 8-byte pointer-free value — req indexes sim.reqs.
+// 8-byte pointer-free value — req indexes sim.reqs. attempt is the
+// client attempt the copy was dispatched for; a completion whose attempt
+// no longer matches the request's is stale (the client already moved on).
 type reqCopy struct {
-	req   int32
-	hedge bool
+	req     int32
+	hedge   bool
+	attempt uint8
 }
 
 // node is one sprint-capable server: a governor-managed budget plus a
@@ -556,6 +702,13 @@ type sim struct {
 	// A non-nil recorder forces the serialized engines (parallelOK), so
 	// the record stream replays the exact global event order.
 	rec *recorder
+
+	// rel is the reliability layer's live state (see reliability.go), nil
+	// unless Config.Reliability arms a trigger — the same zero-cost-when-
+	// off contract as rec: every hook is a nil check, and a non-nil rel
+	// forces the serialized engines so its seeded draws replay in the
+	// exact global event order at any worker count.
+	rel *relState
 }
 
 // baseClass derives the single homogeneous node class of a plain (non-
@@ -616,6 +769,19 @@ func newSim(cfg Config, scen *scenarioRun, rec *recorder) *sim {
 		}
 		s.nodes[i] = node{id: i, class: c, gov: s.classes[c].proto, alive: true}
 	}
+	if cfg.Reliability.enabled() {
+		// Must exist before initShards: parallelOK reads it, because the
+		// reliability layer's seeded draws (fault injection, backoff
+		// jitter) only replay identically when every engine applies events
+		// in the exact global order.
+		s.rel = newRelState(cfg, len(s.nodes))
+		for i := range s.nodes {
+			if s.rel.slowX != nil && s.rel.slowX[i] > 1 {
+				s.nodes[i].stats.Gray = true
+				s.m.GrayNodes++
+			}
+		}
+	}
 	if cfg.ExactQuantiles || cfg.Requests <= exactQuantileCutoff {
 		s.latencies = make([]float64, 0, cfg.Requests)
 	} else {
@@ -656,6 +822,15 @@ func newSim(cfg Config, scen *scenarioRun, rec *recorder) *sim {
 	s.initShards()
 	if rec != nil {
 		rec.begin(s)
+		if s.rel != nil && s.rel.slowX != nil {
+			// The gray set is fixed at birth, so it heads the record
+			// stream: one event per straggler, DurS carrying the slowdown.
+			for i := range s.nodes {
+				if s.rel.slowX[i] > 1 {
+					rec.event(s, trace.Event{Kind: "gray-node", Node: i, Rack: rackOf(s, &s.nodes[i]), Req: -1, Phase: -1, DurS: s.rel.slowX[i]})
+				}
+			}
+		}
 	}
 	return s
 }
@@ -756,6 +931,12 @@ func (s *sim) handle(ev event) {
 		s.nodeFail()
 	case evNodeRecover:
 		s.nodeRecover(&s.nodes[ev.node])
+	case evRackFail:
+		s.rackFail()
+	case evTimeout:
+		s.timeout(ev.req, uint8(ev.gen))
+	case evRetry:
+		s.retry(ev.req, uint8(ev.gen))
 	}
 }
 
@@ -809,6 +990,9 @@ func (s *sim) dispatch(ri int32) {
 	if s.cfg.Policy == Hedged {
 		s.push(event{atS: s.nowS + s.cfg.HedgeDelayS, kind: evHedge, req: ri})
 	}
+	if s.rel != nil && s.rel.timeoutS > 0 {
+		s.push(event{atS: s.nowS + s.rel.timeoutS, kind: evTimeout, req: ri, gen: uint64(r.attempt)})
+	}
 }
 
 // hedge duplicates a still-unfinished request to a second node. A hedge
@@ -819,6 +1003,11 @@ func (s *sim) dispatch(ri int32) {
 func (s *sim) hedge(ri int32) {
 	r := &s.reqs[ri]
 	if r.doneS >= 0 || r.dropped {
+		return
+	}
+	if s.rel != nil && (r.timedOut || r.shed || r.copies == 0) {
+		// Reliability-terminal, or between attempts (the expired copy is
+		// stale and the retry has not dispatched yet): nothing to duplicate.
 		return
 	}
 	rr0 := s.rr
@@ -834,7 +1023,7 @@ func (s *sim) hedge(ri int32) {
 		s.rec.decision(s, ri, "hedge", n, rr0, int(r.firstNode), true)
 	}
 	s.m.HedgesIssued++
-	s.enqueue(n, reqCopy{req: ri, hedge: true})
+	s.enqueue(n, reqCopy{req: ri, hedge: true, attempt: r.attempt})
 }
 
 // redispatch fails a request copy over to a fresh node after its original
@@ -861,9 +1050,10 @@ func (s *sim) redispatch(ri int32) {
 		s.scen.acc[r.phase].redispatches++
 	}
 	// The failover target is the request's first node now: a pending
-	// hedge check must exclude it, not the dead original.
+	// hedge check must exclude it, not the dead original. The copy keeps
+	// its attempt — the client's deadline keeps ticking across a failover.
 	r.firstNode = int32(n.id)
-	s.enqueue(n, reqCopy{req: ri})
+	s.enqueue(n, reqCopy{req: ri, attempt: r.attempt})
 }
 
 // enqueue places a copy on the node, starting service if it is idle, and
@@ -957,6 +1147,21 @@ func (s *sim) startService(n *node, c reqCopy) {
 		energyJ = s.cl(n).nominalW * serviceS
 		n.gov.Idle(serviceS) // at nominal the thermal budget refills
 	}
+	if s.rel != nil && s.rel.slowX != nil {
+		if x := s.rel.slowX[n.id]; x > 1 {
+			// Gray failure: the service stretches — a straggler, not a
+			// corpse. The stall is billed at nominal power (the core waits,
+			// it does not compute) and the thermal budget refills over it;
+			// the sprint phase itself keeps its real duration, so rack draw
+			// timing is untouched. busyUntilS reflects the stretch, so
+			// queue-aware policies can see the backlog — blind ones cannot,
+			// which is exactly what makes the failure gray.
+			extraS := serviceS * (x - 1)
+			serviceS += extraS
+			energyJ += s.cl(n).nominalW * extraS
+			n.gov.Idle(extraS)
+		}
+	}
 	if sprintS > 0 {
 		s.rackSprintStart(n, sprintS)
 	}
@@ -1045,7 +1250,34 @@ func (s *sim) complete(n *node) {
 		// next real service consumes governor budget.
 		s.rec.departed(s, n)
 	}
-	if r := &s.reqs[c.req]; r.doneS < 0 {
+	win := s.reqs[c.req].doneS < 0
+	if s.rel != nil && win {
+		r := &s.reqs[c.req]
+		if c.attempt != r.attempt {
+			// The client abandoned this attempt (timeout, fault, or a
+			// terminal state — all of them bump the attempt counter before
+			// acting): the service happened, the response is useless.
+			win = false
+			s.m.WastedServices++
+			if s.rec != nil && s.rec.cfg.Level == trace.LevelFull {
+				s.rec.event(s, trace.Event{Kind: "stale-complete", Node: n.id, Rack: rackOf(s, n), Req: int(c.req), Phase: int(r.phase)})
+			}
+		} else if s.rel.faultProb > 0 && s.rel.rng.Float64() < s.rel.faultProb {
+			// Transient fault: the response is garbage; the client retries
+			// exactly as if the attempt had timed out.
+			win = false
+			s.m.TransientFaults++
+			if s.scen != nil {
+				s.scen.acc[r.phase].faults++
+			}
+			if s.rec != nil {
+				s.rec.event(s, trace.Event{Kind: "fault", Node: n.id, Rack: rackOf(s, n), Req: int(c.req), Phase: int(r.phase)})
+			}
+			s.clientRetry(c.req)
+		}
+	}
+	if win {
+		r := &s.reqs[c.req]
 		r.doneS = s.nowS
 		lat := s.nowS - r.arrivalS
 		if s.hist != nil {
@@ -1074,7 +1306,12 @@ func (s *sim) complete(n *node) {
 		next := n.queue[n.head]
 		n.head++
 		n.queuedNaiveS -= s.reqs[next.req].workS / s.cl(n).width
-		if s.reqs[next.req].doneS >= 0 {
+		// A copy whose request already finished elsewhere, or whose
+		// attempt the client abandoned (the attempt mismatch covers every
+		// reliability-terminal state and every retry — they all bump the
+		// counter), is skipped instead of served.
+		if s.reqs[next.req].doneS >= 0 ||
+			(s.rel != nil && next.attempt != s.reqs[next.req].attempt) {
 			s.reqs[next.req].copies--
 			s.m.CancelledCopies++
 			if s.rec != nil {
@@ -1393,7 +1630,15 @@ func (s *sim) finish() Metrics {
 		}
 	}
 	if m.SimS > 0 {
-		m.ThroughputRPS = float64(m.Completed) / m.SimS
+		// Throughput counts every service that delivered a response,
+		// useful or not; goodput only the client-useful ones. With the
+		// reliability layer off the wasted/faulted counts are zero and
+		// both reduce to the historical Completed / SimS.
+		m.ThroughputRPS = float64(m.Completed+m.WastedServices+m.TransientFaults) / m.SimS
+		m.GoodputRPS = float64(m.Completed) / m.SimS
+	}
+	if m.Requests > 0 {
+		m.RetryAmplification = float64(m.Requests+m.Retries) / float64(m.Requests)
 	}
 	served, denials := 0, 0
 	m.Nodes = make([]NodeStats, len(s.nodes))

@@ -362,3 +362,34 @@ func (s *sim) breakerReset(ev event) {
 	}
 	s.scheduleTrip(r)
 }
+
+// rackFail is the evRackFail handler: a correlated power loss downs every
+// live member of one churn-chosen rack at once, each through the same
+// incarnation/failover machinery as node churn (failNode), and they all
+// recover at one common instant. Members that were already down keep
+// their own repair clocks — a power event does not heal an earlier
+// failure. Orphans from every victim are collected first and failed over
+// only once the whole rack is out of the dispatch index, so no copy is
+// redispatched onto a sibling dying in the same event. Scenario mode with
+// rack churn only.
+func (s *sim) rackFail() {
+	sc := s.scen
+	victim := sc.rackChurnRng.Intn(len(s.racks))
+	if next := s.nowS + sc.rackChurnRng.ExpFloat64()*sc.spec.Churn.RackMTBFS; next <= sc.endS {
+		s.push(event{atS: next, kind: evRackFail})
+	}
+	downS := math.Max(1e-3, sc.rackChurnRng.ExpFloat64()*sc.spec.Churn.RackMeanDowntimeS)
+	if s.rec != nil {
+		s.rec.event(s, trace.Event{Kind: "rack-fail", Node: -1, Rack: victim, Req: -1, Phase: sc.cur, DurS: downS})
+	}
+	s.m.RackFailures++
+	sc.orphans = sc.orphans[:0]
+	for i := range s.nodes {
+		n := &s.nodes[i]
+		if int(n.rackID) != victim || !n.alive {
+			continue
+		}
+		s.failNode(n, downS)
+	}
+	s.failoverOrphans()
+}

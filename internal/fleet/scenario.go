@@ -145,6 +145,15 @@ type Churn struct {
 	MTBFS float64 `json:"mtbf_s,omitempty"`
 	// MeanDowntimeS is the mean repair time (0 selects 10 s).
 	MeanDowntimeS float64 `json:"mean_downtime_s,omitempty"`
+	// RackMTBFS enables correlated rack-level failures: power-loss events
+	// arrive as a Poisson process with this mean interval, each downing
+	// every live member of one uniformly drawn rack at once (the members
+	// recover together after an exponential outage). 0 disables rack
+	// churn; enabling it requires rack power domains (a Coordination
+	// other than none), since racks do not otherwise exist.
+	RackMTBFS float64 `json:"rack_mtbf_s,omitempty"`
+	// RackMeanDowntimeS is the mean rack outage (0 selects 10 s).
+	RackMeanDowntimeS float64 `json:"rack_mean_downtime_s,omitempty"`
 }
 
 // Scenario is a declarative description of a dynamic fleet run: a phased
@@ -167,11 +176,14 @@ type Scenario struct {
 	MaxRequests int `json:"max_requests,omitempty"`
 }
 
-// scenarioSeed and churnSeed decorrelate the scenario's dedicated random
-// streams from the session generator and the rack admission stream.
+// scenarioSeed, churnSeed, and rackChurnSeed decorrelate the scenario's
+// dedicated random streams from the session generator and the rack
+// admission stream; rack churn draws from its own stream so enabling it
+// never perturbs the node-churn sequence of an existing scenario.
 const (
-	scenarioSeed = 0x7f4a7c159e3779b9
-	churnSeed    = 0x2545f4914f6cdd1d
+	scenarioSeed  = 0x7f4a7c159e3779b9
+	churnSeed     = 0x2545f4914f6cdd1d
+	rackChurnSeed = 0x41c64e6da3bc0074
 )
 
 // withDefaults returns a deep-enough copy with every optional field
@@ -214,6 +226,9 @@ func (sc Scenario) withDefaults() Scenario {
 	sc.Classes = classes
 	if sc.Churn.MTBFS > 0 && sc.Churn.MeanDowntimeS == 0 {
 		sc.Churn.MeanDowntimeS = 10
+	}
+	if sc.Churn.RackMTBFS > 0 && sc.Churn.RackMeanDowntimeS == 0 {
+		sc.Churn.RackMeanDowntimeS = 10
 	}
 	if sc.MaxRequests == 0 {
 		sc.MaxRequests = 4 << 20
@@ -293,6 +308,12 @@ func (sc Scenario) Validate(cfg Config) error {
 	if sc.Churn.MTBFS < 0 || (sc.Churn.MTBFS > 0 && sc.Churn.MeanDowntimeS <= 0) {
 		return fmt.Errorf("fleet: churn needs a non-negative MTBF and a positive mean downtime")
 	}
+	if sc.Churn.RackMTBFS < 0 || (sc.Churn.RackMTBFS > 0 && sc.Churn.RackMeanDowntimeS <= 0) {
+		return fmt.Errorf("fleet: rack churn needs a non-negative MTBF and a positive mean downtime")
+	}
+	if sc.Churn.RackMTBFS > 0 && cfg.Coordination == NoCoordination {
+		return fmt.Errorf("fleet: rack churn needs rack power domains (set a coordination other than none)")
+	}
 	return nil
 }
 
@@ -367,11 +388,12 @@ func buildClasses(cfg Config, sc Scenario) ([]nodeClass, []int32) {
 // phaseAcc accumulates one phase's outcome; latencies stream into a
 // histogram exactly when the whole run does (see SimulateScenario).
 type phaseAcc struct {
-	offered, completed, dropped   int
-	served, denials               int
-	redispatches, failures, trips int
-	lat                           []float64
-	hist                          *series.Histogram
+	offered, completed, dropped     int
+	served, denials                 int
+	redispatches, failures, trips   int
+	timedOut, shed, retries, faults int
+	lat                             []float64
+	hist                            *series.Histogram
 }
 
 func (a *phaseAcc) observe(lat float64) {
@@ -400,6 +422,17 @@ type PhaseMetrics struct {
 	Redispatches int
 	NodeFailures int
 	BreakerTrips int
+
+	// Reliability-layer outcome over the phase's arrival cohort (zero
+	// when the layer is off): TimedOut/Shed are terminal abandonments,
+	// Retries counts re-dispatched attempts, TransientFaults the faulted
+	// completions, and ShedRate is Shed over Offered — the phase's
+	// load-shedding fraction.
+	TimedOut        int
+	Shed            int
+	Retries         int
+	TransientFaults int
+	ShedRate        float64
 
 	// ThroughputRPS is Completed over the phase duration — the rate at
 	// which the phase's own cohort got served.
@@ -431,8 +464,9 @@ type scenarioRun struct {
 	endS     float64 // scenario end: no churn is scheduled past it
 	ambientC float64 // currently applied ambient delta
 
-	churnRng *rand.Rand
-	orphans  []reqCopy // reusable failure-handling scratch
+	churnRng     *rand.Rand
+	rackChurnRng *rand.Rand
+	orphans      []reqCopy // reusable failure-handling scratch
 }
 
 // phaseMetrics assembles the per-phase breakdown after the run drains.
@@ -452,6 +486,14 @@ func (sc *scenarioRun) phaseMetrics() []PhaseMetrics {
 			Redispatches: a.redispatches,
 			NodeFailures: a.failures,
 			BreakerTrips: a.trips,
+
+			TimedOut:        a.timedOut,
+			Shed:            a.shed,
+			Retries:         a.retries,
+			TransientFaults: a.faults,
+		}
+		if a.offered > 0 {
+			pm.ShedRate = float64(a.shed) / float64(a.offered)
 		}
 		pm.ThroughputRPS = float64(a.completed) / p.DurationS
 		switch {
@@ -601,6 +643,12 @@ func simulateScenario(ctx context.Context, cfg Config, sc Scenario, rec *recorde
 			s.push(event{atS: at, kind: evNodeFail})
 		}
 	}
+	if sc.Churn.RackMTBFS > 0 {
+		run.rackChurnRng = rand.New(rand.NewSource(cfg.Seed ^ rackChurnSeed))
+		if at := run.rackChurnRng.ExpFloat64() * sc.Churn.RackMTBFS; at <= run.endS {
+			s.push(event{atS: at, kind: evRackFail})
+		}
+	}
 	m, err := s.start(ctx)
 	putArena(s.reqs)
 	return m, err
@@ -651,14 +699,28 @@ func (s *sim) nodeFail() {
 	if !n.alive {
 		return // already down; this draw fizzles
 	}
+	downS := math.Max(1e-3, sc.churnRng.ExpFloat64()*sc.spec.Churn.MeanDowntimeS)
+	sc.orphans = sc.orphans[:0]
+	s.failNode(n, downS)
+	s.failoverOrphans()
+}
+
+// failNode kills one live node now, recovering it downS later: its
+// incarnation bumps (staling any scheduled completion/sprint-end), its
+// rack draw and permits retire, and its request copies — the in-service
+// one first, then the FIFO queue — are appended to the scenario's orphan
+// scratch for the caller to fail over once every victim of the triggering
+// event is down. Shared by node churn (one victim) and rack power loss
+// (every live member of the rack).
+func (s *sim) failNode(n *node, downS float64) {
+	sc := s.scen
 	if s.rec != nil {
 		s.rec.event(s, trace.Event{Kind: "node-fail", Node: n.id, Rack: rackOf(s, n), Req: -1, Phase: sc.cur})
 		// The node's realized future ends here: counterfactual probes
 		// watching its departures can never resolve.
 		s.rec.nodeDown(n)
 	}
-	downS := math.Max(1e-3, sc.churnRng.ExpFloat64()*sc.spec.Churn.MeanDowntimeS)
-	s.push(event{atS: s.nowS + downS, kind: evNodeRecover, node: int32(victim)})
+	s.push(event{atS: s.nowS + downS, kind: evNodeRecover, node: int32(n.id)})
 
 	n.alive = false
 	n.gen++
@@ -677,10 +739,9 @@ func (s *sim) nodeFail() {
 		s.scheduleTrip(r)
 	}
 
-	// Collect the orphans (in-service copy first, then the FIFO queue),
-	// clear the node, and only then fail them over — the dead node is
-	// already out of every index, so selection cannot route back to it.
-	sc.orphans = sc.orphans[:0]
+	// Collect the orphans and clear the node; the caller fails them over
+	// only after every victim is out of the dispatch index, so selection
+	// cannot route an orphan back onto a node dying in the same event.
 	if n.busy {
 		n.busy = false
 		sc.orphans = append(sc.orphans, n.cur)
@@ -694,10 +755,20 @@ func (s *sim) nodeFail() {
 	n.queuedNaiveS = 0
 	n.busyUntilS = 0
 	s.touch(n)
-	for _, c := range sc.orphans {
+}
+
+// failoverOrphans redispatches the orphan scratch collected by failNode:
+// an orphan whose request already resolved, still has a copy in flight
+// elsewhere, or whose attempt the client has abandoned (reliability
+// layer) is simply let go.
+func (s *sim) failoverOrphans() {
+	for _, c := range s.scen.orphans {
 		r := &s.reqs[c.req]
 		r.copies--
 		if r.doneS >= 0 || r.dropped || r.copies > 0 {
+			continue
+		}
+		if s.rel != nil && (r.timedOut || r.shed || c.attempt != r.attempt) {
 			continue
 		}
 		s.redispatch(c.req)

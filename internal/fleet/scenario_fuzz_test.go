@@ -4,17 +4,20 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"reflect"
 	"testing"
 )
 
 // FuzzScenarioJSON fuzzes the declarative scenario surface end to end:
 // any byte string that strictly decodes (unknown fields rejected, as
 // cmd/fleetsim decodes) must re-marshal and strictly re-decode to the
-// identical value — the JSON form is a faithful round-trip — and, when
-// its resource demands are bounded, actually running it must never
-// panic: invalid scenarios fail loudly through Validate or the trace
-// cap, never through a crash.
+// same canonical form — marshaling is idempotent, so the JSON form is a
+// faithful round-trip. (Canonical-form equality, not DeepEqual: an
+// explicit empty list like {"classes":[]} decodes to an empty non-nil
+// slice that omitempty then drops, which is the same scenario but not
+// the same Go value — the fuzzer found exactly that.) And when its
+// resource demands are bounded, actually running it must never panic:
+// invalid scenarios fail loudly through Validate or the trace cap,
+// never through a crash.
 func FuzzScenarioJSON(f *testing.F) {
 	_, flash := flashCrowdChurn()
 	if seed, err := json.Marshal(flash); err == nil {
@@ -45,8 +48,12 @@ func FuzzScenarioJSON(f *testing.F) {
 		if err := dec.Decode(&rt); err != nil {
 			t.Fatalf("re-marshaled scenario failed strict re-decode: %v\njson: %s", err, out)
 		}
-		if !reflect.DeepEqual(rt, sc) {
-			t.Fatalf("round-trip changed the scenario:\nbefore: %+v\nafter:  %+v", sc, rt)
+		out2, err := json.Marshal(rt)
+		if err != nil {
+			t.Fatalf("round-tripped scenario failed to re-marshal: %v", err)
+		}
+		if !bytes.Equal(out2, out) {
+			t.Fatalf("round-trip changed the scenario's canonical form:\nbefore: %s\nafter:  %s", out, out2)
 		}
 
 		if !runnableUnderFuzz(sc) {

@@ -157,9 +157,11 @@ func (s *sim) initShards() {
 // fleet-global random stream. Everything else routes through the
 // serialized-merge engine — including any traced run, because the flight
 // recorder appends one global record stream in event order and must
-// produce identical bytes at every worker count.
+// produce identical bytes at every worker count, and any run with the
+// reliability layer armed, whose retry budget and seeded fault/jitter
+// draws are likewise fleet-global state consumed in event order.
 func (s *sim) parallelOK() bool {
-	return s.scen == nil && s.cfg.Policy == RoundRobin && s.cfg.Coordination != Probabilistic && s.rec == nil
+	return s.scen == nil && s.cfg.Policy == RoundRobin && s.cfg.Coordination != Probabilistic && s.rec == nil && s.rel == nil
 }
 
 // buildSegs lowers the shard cuts × class blocks into dispatch-index

@@ -87,8 +87,9 @@ type Alt struct {
 }
 
 // Decision is one dispatch decision: a fresh arrival (kind "dispatch"),
-// a hedge duplication ("hedge"), or a failure-churn failover
-// ("redispatch"). Node is -1 when the outcome is "dropped" with no
+// a hedge duplication ("hedge"), a failure-churn failover
+// ("redispatch"), or a client retry of a timed-out or faulted attempt
+// ("retry"). Node is -1 when the outcome is "dropped" with no
 // attribution target. The counterfactual columns (DoneS, BestAlt,
 // BestAltDoneS, RegretS) are filled when the run drains: RegretS =
 // DoneS − BestAltDoneS, so a positive regret means the best rejected
@@ -115,7 +116,7 @@ type Decision struct {
 // Event is one lifecycle event. Fields that do not apply to a kind are
 // -1 (indices) or 0 (durations).
 type Event struct {
-	Kind  string  `json:"kind"` // hedge-win|hedge-suppress|permit-deny|breaker-trip|breaker-reset|node-fail|node-recover|sprint-start|sprint-end|phase-start|service-start|complete
+	Kind  string  `json:"kind"` // hedge-win|hedge-suppress|permit-deny|breaker-trip|breaker-reset|node-fail|node-recover|rack-fail|gray-node|sprint-start|sprint-end|phase-start|service-start|complete|stale-complete|fault|req-timeout|timed-out|shed
 	Node  int     `json:"node"`
 	Rack  int     `json:"rack"`
 	Req   int     `json:"req"`

@@ -443,8 +443,17 @@ type ScenarioPhase = fleet.Phase
 // ScenarioNodeClass declares one hardware class of a heterogeneous fleet.
 type ScenarioNodeClass = fleet.NodeClass
 
-// ScenarioChurn parameterizes seeded node failure/recovery.
+// ScenarioChurn parameterizes seeded node failure/recovery, including
+// correlated rack-level power loss.
 type ScenarioChurn = fleet.Churn
+
+// FleetReliability parameterizes the request-reliability layer:
+// client-side timeouts with budgeted exponential-backoff retries, and
+// fault injection — gray stragglers and transient per-service faults
+// (correlated rack failures live in ScenarioChurn). The zero value
+// disables the layer entirely at zero cost. Set on
+// FleetConfig.Reliability.
+type FleetReliability = fleet.Reliability
 
 // ScenarioLoadShape selects a phase's arrival-rate profile.
 type ScenarioLoadShape = fleet.LoadShape
