@@ -16,9 +16,16 @@
 # refreshes the baseline after an intentional perf change; `make lint`
 # is the static gate — gofmt, go vet, the first-party sprintvet
 # analyzers (determinism and hot-path contracts), and govulncheck when
-# it is installed; `make fuzz-smoke` gives the scenario-JSON fuzzer a
-# short budget; `make reliability` demos the request-reliability layer
-# (gray stragglers, client timeouts, a budgeted retry storm).
+# it is installed; `make fuzz-smoke` gives the scenario-JSON, workload-
+# spec, and trace-replay fuzzers a short budget each; `make reliability`
+# demos the request-reliability layer (gray stragglers, client timeouts,
+# a budgeted retry storm); `make tenants` demos the multi-tenant
+# workload; `make replay` is the record→replay golden gate — it records
+# the flash-crowd scenario with the flight recorder, converts the
+# recording to a replayable trace, replays it at two shard-worker
+# counts, and diffs the byte-identical report against the committed
+# testdata/GOLDEN_replay.txt (refresh with `make replay-golden` after an
+# intentional engine change).
 
 GO ?= go
 
@@ -36,7 +43,7 @@ TOLERANCE ?= 1.5
 # note instead of a false verdict.
 MIN_SPEEDUP ?= BenchmarkFleetScaleDecoupledParallel=3
 
-.PHONY: all build test bench benchsmoke bench-json bench-gate bench-baseline vet lint fuzz-smoke fleet rack scenario trace reliability
+.PHONY: all build test bench benchsmoke bench-json bench-gate bench-baseline vet lint fuzz-smoke fleet rack scenario trace reliability tenants replay replay-golden replay-run
 
 all: build
 
@@ -66,10 +73,15 @@ lint: vet
 test: vet
 	$(GO) test -race ./...
 
-# A short-budget fuzz pass over the scenario JSON loader: enough to catch
-# a fresh panic in parsing/validation without holding up CI.
+# A short-budget fuzz pass over every strict-decode surface — the
+# scenario JSON loader, the workload-spec loader, and the request-trace
+# parser/replayer: enough to catch a fresh panic in parsing, validation,
+# or a bounded run without holding up CI. (The go tool takes one -fuzz
+# target per invocation, hence three.)
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzScenarioJSON -fuzztime 10s ./internal/fleet
+	$(GO) test -run '^$$' -fuzz FuzzWorkloadSpecJSON -fuzztime 10s ./internal/fleet
+	$(GO) test -run '^$$' -fuzz FuzzTraceReplay -fuzztime 10s ./internal/fleet
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -78,7 +90,7 @@ benchsmoke:
 	$(GO) test -bench=. -benchtime=1x -timeout 10m -run=^$$ .
 
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkFleetScale|BenchmarkFleetSweep|BenchmarkRackSweep|BenchmarkFleetScenario|BenchmarkFleetTrace|BenchmarkFleetReliability' \
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetScale|BenchmarkFleetSweep|BenchmarkRackSweep|BenchmarkFleetScenario|BenchmarkFleetTrace|BenchmarkFleetReliability|BenchmarkFleetTenants' \
 		-benchmem -benchtime=1x -timeout 10m . > BENCH_fleet.txt
 	cat BENCH_fleet.txt
 	$(GO) run ./cmd/benchjson < BENCH_fleet.txt > BENCH_fleet.json
@@ -109,3 +121,36 @@ reliability:
 	$(GO) run ./cmd/fleetsim -nodes 16 -requests 20000 -policy least-loaded \
 		-gray-frac 0.2 -gray-slowdown 6 -timeout-s 5 -max-retries 8 \
 		-retry-backoff-s 0.1 -retry-budget 0.7
+
+tenants:
+	$(GO) run ./cmd/fleetsim -workload examples/workloads/tenants.json \
+		-policy sprint-aware
+
+# The record→replay golden gate. One traced flash-crowd run produces the
+# recording; -convert-trace turns its dispatch decisions into a
+# replayable CSV; the replay report must be byte-identical at different
+# -shard-workers counts AND match the committed golden — any drift in
+# the recorder, the converter, the trace codec, or the replay engine
+# fails the diff loudly.
+replay: replay-run
+	bin/fleetsim -policy sprint-aware -coordination token-permit \
+		-replay REPLAY_trace.csv -shard-workers 7 > REPLAY_report.shard7.txt
+	cmp REPLAY_report.txt REPLAY_report.shard7.txt
+	diff -u testdata/GOLDEN_replay.txt REPLAY_report.txt
+	@echo "replay gate: report matches the golden, byte-identical across shard counts"
+
+# replay-golden refreshes the committed golden after an intentional
+# engine or report change.
+replay-golden: replay-run
+	cp REPLAY_report.txt testdata/GOLDEN_replay.txt
+
+# replay-run regenerates the replay report: record, convert, replay.
+replay-run:
+	mkdir -p bin
+	$(GO) build -o bin/fleetsim ./cmd/fleetsim
+	bin/fleetsim -scenario examples/scenarios/flashcrowd.json \
+		-policy sprint-aware -coordination token-permit \
+		-trace REPLAY_recording.jsonl > /dev/null
+	bin/fleetsim -convert-trace REPLAY_recording.jsonl -replay-out REPLAY_trace.csv
+	bin/fleetsim -policy sprint-aware -coordination token-permit \
+		-replay REPLAY_trace.csv -shard-workers 2 > REPLAY_report.txt

@@ -285,6 +285,55 @@ func BenchmarkFleetTraceOff(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetTenants measures the multi-tenant workload layer at
+// scale: 16 tenant populations across four SLO classes (mixed arrival
+// processes and work distributions, per-class admission buckets) under
+// priority dequeue on a 100-node fleet — roughly 100k generated
+// arrivals per iteration. The delta to a same-size single-population
+// run is the workload layer's cost: spec-driven generation, admission,
+// disciplined dequeue, and the per-class metric assembly.
+func BenchmarkFleetTenants(b *testing.B) {
+	cfg := sprinting.DefaultFleetConfig(sprinting.FleetSprintAware)
+	cfg.Nodes = 100
+	w := sprinting.FleetWorkload{
+		Classes: []sprinting.WorkloadSLOClass{
+			{Name: "gold", Priority: 0, TargetP99S: 1, AdmitRatePerS: 20, AdmitBurst: 40},
+			{Name: "silver", Priority: 1, TargetP99S: 3},
+			{Name: "bronze", Priority: 2},
+			{Name: "batch", Priority: 5},
+		},
+		Discipline: "priority",
+		DurationS:  2200,
+	}
+	classes := []string{"gold", "silver", "bronze", "batch"}
+	processes := []sprinting.WorkloadArrival{
+		{Process: "poisson", RatePerS: 2.8},
+		{Process: "gamma", RatePerS: 2.8, Shape: 0.5},
+		{Process: "weibull", RatePerS: 2.8, Shape: 2},
+	}
+	works := []sprinting.WorkloadWork{
+		{Dist: "exp", MeanS: 2},
+		{Dist: "lognormal", MeanS: 2, Sigma: 1},
+		{Dist: "pareto", MeanS: 2, Alpha: 2.5},
+		{Dist: "fixed", MeanS: 2},
+	}
+	for i := 0; i < 16; i++ {
+		w.Tenants = append(w.Tenants, sprinting.WorkloadTenant{
+			Name:    fmt.Sprintf("tenant%02d", i),
+			Class:   classes[i%len(classes)],
+			Arrival: processes[i%len(processes)],
+			Work:    works[i%len(works)],
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sprinting.SimulateWorkload(cfg, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRackSweep measures the rack power-domain machinery at
 // production scale: every coordination policy over a 96-node fleet in
 // racks of 16 (each rack provisioned for one concurrent sprinter) serving

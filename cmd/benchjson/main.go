@@ -16,9 +16,11 @@
 //
 // exits non-zero when any baseline benchmark's ns/op regressed past the
 // tolerance (new > old × (1 + tolerance)) or disappeared from the new
-// report; benchmarks only present in the new report are noted and pass.
-// Improvements never fail the gate — the baseline is a ceiling, not a
-// pin.
+// report; benchmarks only present in the new report pass, each noted on
+// its own line and summarized with an explicit count and name list — a
+// fresh benchmark silently riding outside the gate is how perf holes
+// open. Improvements never fail the gate — the baseline is a ceiling,
+// not a pin.
 //
 // Compare mode also reports, for every benchmark pair named
 // <base>Parallel / <base> in the new report, the parallel speedup ratio
@@ -153,10 +155,16 @@ func compare(old, new Report, tolerance float64, out io.Writer) int {
 			fmt.Fprintf(out, "ok       %-40s %.0f -> %.0f ns/op (%.2fx)\n", o.Name, o.NsPerOp, n.NsPerOp, ratio)
 		}
 	}
+	var added []string
 	for _, n := range new.Results {
 		if !seen[n.Name] {
+			added = append(added, n.Name)
 			fmt.Fprintf(out, "new      %-40s %.0f ns/op (no baseline; add it on the next refresh)\n", n.Name, n.NsPerOp)
 		}
+	}
+	if len(added) > 0 {
+		fmt.Fprintf(out, "%d new benchmark(s) running ungated: %s — refresh BENCH_baseline.json to start gating them\n",
+			len(added), strings.Join(added, ", "))
 	}
 	return regressions
 }

@@ -156,6 +156,37 @@ func TestCompareMissingAndAddedBenchmarks(t *testing.T) {
 	if !strings.Contains(out, "new      BenchmarkFleetScenario") {
 		t.Errorf("added benchmarks should be noted:\n%s", out)
 	}
+	if !strings.Contains(out, "1 new benchmark(s) running ungated: BenchmarkFleetScenario") {
+		t.Errorf("added benchmarks should be summarized with count and names:\n%s", out)
+	}
+}
+
+// TestCompareSummarizesAllNewBenchmarks: the ungated summary counts and
+// names every new benchmark, and does not appear when nothing is new.
+func TestCompareSummarizesAllNewBenchmarks(t *testing.T) {
+	old := writeReport(t, Report{Results: []Result{
+		result("BenchmarkFleetScale", 1e9),
+	}})
+	new := writeReport(t, Report{Results: []Result{
+		result("BenchmarkFleetScale", 1e9),
+		result("BenchmarkFleetTenants", 2e8),
+		result("BenchmarkFleetScenario", 3e8),
+	}})
+	out, _, code := runCompare(t, "-compare", old, new, "-tolerance", "0.25")
+	if code != 0 {
+		t.Fatalf("new benchmarks alone should pass the gate, got %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "2 new benchmark(s) running ungated: BenchmarkFleetTenants, BenchmarkFleetScenario") {
+		t.Errorf("summary should count and name both new benchmarks:\n%s", out)
+	}
+
+	same, _, code := runCompare(t, "-compare", old, old, "-tolerance", "0.25")
+	if code != 0 {
+		t.Fatalf("identical reports should pass, got %d\n%s", code, same)
+	}
+	if strings.Contains(same, "running ungated") {
+		t.Errorf("no summary expected when nothing is new:\n%s", same)
+	}
 }
 
 func procResult(name string, ns float64, procs int) Result {

@@ -75,6 +75,28 @@
 //	fleetsim -scenario flashcrowd.json -coordination token-permit \
 //	    -trace flash.jsonl -trace-level full -trace-summary
 //
+// With -replay file the run replays a recorded request trace (JSON lines
+// or CSV of arrival_s, work_s and optional width/tenant/class labels)
+// instead of synthesizing arrivals — deterministic what-if replays of
+// recorded demand, byte-identical at any -shard-workers count.
+// -convert-trace recording.jsonl -replay-out trace.csv converts a flight
+// recording into such a trace, closing the record→replay loop (replaying
+// a recording of a plain run reproduces that run's metrics exactly).
+// With -workload file.json the run draws from a declarative multi-tenant
+// workload: SLO classes (priority, latency target, token-bucket
+// admission, per-class hedge delay), tenant populations with their own
+// arrival processes (poisson/gamma/weibull) and work/width
+// distributions, and a dequeue discipline (fifo, priority, or sjf); add
+// -scenario to ride the tenants on its phases and churn. Both modes
+// report per-class latency/goodput/SLO lines and the Jain fairness index
+// over tenants:
+//
+//	fleetsim -policy sprint-aware -trace rec.jsonl && \
+//	    fleetsim -convert-trace rec.jsonl -replay-out trace.csv && \
+//	    fleetsim -policy sprint-aware -replay trace.csv
+//	fleetsim -workload tenants.json -policy sprint-aware
+//	fleetsim -workload tenants.json -scenario flashcrowd.json
+//
 //	{
 //	  "base_rate_per_s": 7.2,
 //	  "phases": [
@@ -163,6 +185,7 @@ func printScenarioReport(path string, scen sprinting.FleetScenario, metrics []sp
 				m.GoodputRPS, m.TimedOut, m.Shed, m.Retries, m.RetryAmplification, m.TransientFaults, m.GrayNodes)
 		}
 		fmt.Fprintln(stdout)
+		printWorkloadReport(stdout, m)
 	}
 	fmt.Fprintln(stdout, "\nphases attribute requests to their arrival window; sprint-aware dispatch rides a flash crowd on remaining thermal headroom")
 }
@@ -176,6 +199,108 @@ func printReliabilityLine(stdout io.Writer, m sprinting.FleetMetrics) {
 	}
 	fmt.Fprintf(stdout, "%-14s goodput %.3f req/s, %d timed out, %d shed, %d retries (amplification %.2fx), %d transient faults, %d gray nodes\n",
 		"", m.GoodputRPS, m.TimedOut, m.Shed, m.Retries, m.RetryAmplification, m.TransientFaults, m.GrayNodes)
+}
+
+// printRunTable renders the standard report table for a set of runs —
+// the rack-mode or plain column set, one row per run followed by its
+// optional hedge, reliability, and per-class workload lines.
+func printRunTable(stdout io.Writer, rackMode bool, metrics []sprinting.FleetMetrics) {
+	if rackMode {
+		fmt.Fprintf(stdout, "%-14s %-14s %11s %9s %9s %9s %7s %11s %10s %8s %9s\n",
+			"policy", "coordination", "thr (req/s)", "p50 (s)", "p99 (s)", "p999 (s)",
+			"trips", "rack-thr(s)", "permit-d %", "dropped", "J/req")
+		for _, m := range metrics {
+			fmt.Fprintf(stdout, "%-14s %-14s %11.3f %9.3f %9.3f %9.3f %7d %11.1f %10.2f %8d %9.2f\n",
+				m.Policy.String(), m.Coordination.String(), m.ThroughputRPS,
+				m.P50S, m.P99S, m.P999S, m.BreakerTrips, m.RackThrottledS,
+				100*m.PermitDenialRate, m.Dropped, m.EnergyPerRequestJ)
+			printReliabilityLine(stdout, m)
+			printWorkloadReport(stdout, m)
+		}
+		return
+	}
+	fmt.Fprintf(stdout, "%-14s %11s %9s %9s %9s %9s %9s %9s %8s %9s\n",
+		"policy", "thr (req/s)", "p50 (s)", "p95 (s)", "p99 (s)", "p999 (s)", "max (s)",
+		"denied %", "dropped", "J/req")
+	for _, m := range metrics {
+		fmt.Fprintf(stdout, "%-14s %11.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.2f %8d %9.2f\n",
+			m.Policy.String(), m.ThroughputRPS, m.P50S, m.P95S, m.P99S, m.P999S, m.MaxS,
+			100*m.SprintDenialRate, m.Dropped, m.EnergyPerRequestJ)
+		if m.HedgesIssued > 0 || m.HedgesSuppressed > 0 {
+			fmt.Fprintf(stdout, "%-14s %d hedges issued, %d won, %d copies cancelled, %d suppressed (no spare capacity), %.0f J total service energy\n",
+				"", m.HedgesIssued, m.HedgeWins, m.CancelledCopies, m.HedgesSuppressed, m.TotalEnergyJ)
+		}
+		printReliabilityLine(stdout, m)
+		printWorkloadReport(stdout, m)
+	}
+}
+
+// printWorkloadReport renders the per-SLO-class breakdown and tenant
+// fairness below a run's report row; a run without a workload prints
+// nothing. The shed column breaks out admission-bucket door sheds in
+// parentheses.
+func printWorkloadReport(stdout io.Writer, m sprinting.FleetMetrics) {
+	if len(m.Classes) == 0 {
+		return
+	}
+	fmt.Fprintf(stdout, "%-14s %4s %8s %9s %7s %7s %11s %7s %11s %9s %9s %9s %6s\n",
+		"class", "prio", "offered", "completed", "dropped", "t-out", "shed (adm)", "retries",
+		"gdp (req/s)", "p50 (s)", "p99 (s)", "p999 (s)", "slo %")
+	for _, c := range m.Classes {
+		slo := "-"
+		if c.TargetP99S > 0 {
+			slo = fmt.Sprintf("%.1f", 100*c.SLOAttainment)
+		}
+		fmt.Fprintf(stdout, "%-14s %4d %8d %9d %7d %7d %5d (%3d) %7d %11.3f %9.3f %9.3f %9.3f %6s\n",
+			c.Name, c.Priority, c.Offered, c.Completed, c.Dropped, c.TimedOut, c.Shed, c.AdmissionShed,
+			c.Retries, c.GoodputRPS, c.P50S, c.P99S, c.P999S, slo)
+	}
+	if len(m.Tenants) > 0 {
+		fmt.Fprintf(stdout, "%d tenants, Jain fairness %.3f\n", len(m.Tenants), m.JainFairness)
+	}
+}
+
+// convertRecording reads a flight-recorder JSONL recording and writes
+// its fresh-arrival dispatch decisions as a replayable CSV trace — the
+// record half of the record→replay loop.
+func convertRecording(in, out string, stdout, stderr io.Writer) int {
+	f, err := os.Open(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "fleetsim:", err)
+		return 1
+	}
+	tr, err := sprinting.ReadFleetTrace(bufio.NewReader(f))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "fleetsim: %s: %v\n", in, err)
+		return 1
+	}
+	rows, err := sprinting.ReplayFromRecording(tr)
+	if err != nil {
+		fmt.Fprintln(stderr, "fleetsim:", err)
+		return 1
+	}
+	of, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintln(stderr, "fleetsim:", err)
+		return 1
+	}
+	bw := bufio.NewWriter(of)
+	err = sprinting.WriteRequestTraceCSV(bw, rows)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := of.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "fleetsim: %s: %v\n", out, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "converted %s: %d replayable arrivals -> %s\n", in, len(rows), out)
+	return 0
 }
 
 // writeTrace serializes the recording as JSONL; the file is the durable
@@ -265,6 +390,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 		scenarioPath = fs.String("scenario", "", "JSON scenario file: load phases/ramps, ambient swings, node classes, churn (supersedes -requests and -rate)")
 
+		replayPath   = fs.String("replay", "", "replay a recorded request trace (JSONL or CSV of arrival_s, work_s, optional width/tenant/class) instead of synthesizing arrivals; needs one concrete -policy and -coordination")
+		workloadPath = fs.String("workload", "", "JSON multi-tenant workload spec: SLO classes, tenant populations, admission control, dequeue discipline (combine with -scenario to ride its phases)")
+		convertTrace = fs.String("convert-trace", "", "read a flight-recorder JSONL recording and write its arrivals as a replayable CSV trace to -replay-out, then exit")
+		replayOut    = fs.String("replay-out", "", "destination file for -convert-trace")
+
 		timeoutS      = fs.Float64("timeout-s", 0, "client-side per-request timeout in seconds; an expired attempt retries with exponential backoff (0 disables timeouts)")
 		maxRetries    = fs.Int("max-retries", 0, "retries per request before it terminally times out (needs -timeout-s or -fault-prob; 0 = no retries)")
 		retryBackoffS = fs.Float64("retry-backoff-s", 0, "base retry backoff in seconds, doubling per attempt with seeded jitter (needs -timeout-s or -fault-prob; 0 = default 0.1)")
@@ -328,6 +458,40 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	if set["convert-trace"] != set["replay-out"] {
+		fmt.Fprintln(stderr, "fleetsim: -convert-trace and -replay-out go together (read a recording, write a replayable trace)")
+		return 2
+	}
+	if *convertTrace != "" {
+		for _, f := range []string{"replay", "workload", "scenario", "trace"} {
+			if set[f] {
+				fmt.Fprintf(stderr, "fleetsim: -%s conflicts with -convert-trace (conversion runs no simulation)\n", f)
+				return 2
+			}
+		}
+		return convertRecording(*convertTrace, *replayOut, stdout, stderr)
+	}
+	if *replayPath != "" {
+		for _, f := range []string{"scenario", "workload", "trace", "requests", "rate", "work"} {
+			if set[f] {
+				fmt.Fprintf(stderr, "fleetsim: -%s conflicts with -replay (the trace owns the load profile)\n", f)
+				return 2
+			}
+		}
+		if *policy == "all" || *coordination == "all" {
+			fmt.Fprintf(stderr, "fleetsim: -replay replays a single run; pick one -policy and one -coordination (got -policy %s, -coordination %s)\n",
+				*policy, *coordination)
+			return 2
+		}
+	}
+	if *workloadPath != "" {
+		for _, f := range []string{"requests", "rate", "work", "trace"} {
+			if set[f] {
+				fmt.Fprintf(stderr, "fleetsim: -%s conflicts with -workload (the workload spec owns the load profile)\n", f)
+				return 2
+			}
+		}
+	}
 	for _, f := range []string{"trace-level", "counterfactual-k", "timeline-window-s", "trace-summary"} {
 		if set[f] && *tracePath == "" {
 			fmt.Fprintf(stderr, "fleetsim: -%s parameterizes the flight recorder (add -trace out.jsonl)\n", f)
@@ -378,6 +542,94 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	rackMode := len(coords) > 1 || coords[0] != sprinting.RackNoCoordination
 
+	// mkCfg builds one run's config from the shared flags for the modes
+	// that own their load profile (replay and workload), so Requests and
+	// ArrivalRatePerS stay out of it.
+	mkCfg := func(p sprinting.FleetPolicy, c sprinting.RackCoordination) sprinting.FleetConfig {
+		cfg := sprinting.DefaultFleetConfig(p)
+		cfg.Nodes = *nodes
+		cfg.MeanWorkS = *work
+		cfg.Seed = *seed
+		cfg.QueueCap = *queue
+		cfg.HedgeDelayS = *hedgeS
+		cfg.ExactQuantiles = *exactQ
+		cfg.Coordination = c
+		cfg.RackSize = *rackSize
+		cfg.RackPowerBudgetW = *rackBudgetW
+		cfg.RackBufferJ = *rackBufferJ
+		cfg.SprintPermits = *permits
+		cfg.BreakerRecoveryS = *recoveryS
+		cfg.Reliability = sprinting.FleetReliability{
+			TimeoutS: *timeoutS, MaxRetries: *maxRetries, RetryBackoffS: *retryBackoffS,
+			RetryBudgetPerS: *retryBudget, RetryBurst: *retryBurst,
+			GrayFrac: *grayFrac, GraySlowdownX: *graySlowdown, FaultProb: *faultProb,
+		}
+		cfg.Workers = *shardWorkers
+		return cfg
+	}
+
+	if *replayPath != "" {
+		data, err := os.ReadFile(*replayPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "fleetsim:", err)
+			return 1
+		}
+		rows, err := sprinting.ParseRequestTrace(bytes.NewReader(data))
+		if err != nil {
+			fmt.Fprintf(stderr, "fleetsim: %s: %v\n", *replayPath, err)
+			return 1
+		}
+		m, err := sprinting.SimulateReplayContext(ctx, mkCfg(policies[0], coords[0]), rows, nil)
+		if err != nil {
+			fmt.Fprintln(stderr, "fleetsim:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "replay %s: %d recorded arrivals, %d nodes (seed %d)\n\n",
+			*replayPath, len(rows), *nodes, *seed)
+		if m.ApproxQuantiles {
+			fmt.Fprintln(stdout, "quantiles: streaming log-scale histogram (within 1.81%; mean/max exact) — use -exact-quantiles to buffer")
+		}
+		printRunTable(stdout, rackMode, []sprinting.FleetMetrics{m})
+		return 0
+	}
+
+	var wspec *sprinting.FleetWorkload
+	if *workloadPath != "" {
+		data, err := os.ReadFile(*workloadPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "fleetsim:", err)
+			return 1
+		}
+		var w sprinting.FleetWorkload
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&w); err != nil {
+			fmt.Fprintf(stderr, "fleetsim: %s: %v\n", *workloadPath, err)
+			return 1
+		}
+		wspec = &w
+	}
+	if wspec != nil && *scenarioPath == "" {
+		fmt.Fprintf(stdout, "workload %s: %d classes, %d tenants, %d nodes (seed %d)\n\n",
+			*workloadPath, len(wspec.Classes), len(wspec.Tenants), *nodes, *seed)
+		var metrics []sprinting.FleetMetrics
+		for _, p := range policies {
+			for _, c := range coords {
+				m, err := sprinting.SimulateWorkloadContext(ctx, mkCfg(p, c), *wspec)
+				if err != nil {
+					fmt.Fprintln(stderr, "fleetsim:", err)
+					return 1
+				}
+				metrics = append(metrics, m)
+			}
+		}
+		if len(metrics) > 0 && metrics[0].ApproxQuantiles {
+			fmt.Fprintln(stdout, "quantiles: streaming log-scale histogram (within 1.81%; mean/max exact) — use -exact-quantiles to buffer")
+		}
+		printRunTable(stdout, rackMode, metrics)
+		return 0
+	}
+
 	if *scenarioPath != "" {
 		data, err := os.ReadFile(*scenarioPath)
 		if err != nil {
@@ -424,6 +676,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				cfg.Trace = traceCfg
 				scs = append(scs, sprinting.ScenarioConfig{Fleet: cfg, Scenario: scen})
 			}
+		}
+		if wspec != nil {
+			var metrics []sprinting.FleetMetrics
+			for _, sc := range scs {
+				m, err := sprinting.SimulateScenarioWorkloadContext(ctx, sc, *wspec)
+				if err != nil {
+					fmt.Fprintln(stderr, "fleetsim:", err)
+					return 1
+				}
+				metrics = append(metrics, m)
+			}
+			printScenarioReport(*scenarioPath, scen, metrics, stdout)
+			return 0
 		}
 		if *tracePath != "" {
 			m, tr, err := sprinting.SimulateScenarioTracedContext(ctx, scs[0])
@@ -527,38 +792,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, "quantiles: streaming log-scale histogram (within 1.81%; mean/max exact) — use -exact-quantiles to buffer")
 	}
 
+	printRunTable(stdout, rackMode, metrics)
 	if rackMode {
-		fmt.Fprintf(stdout, "%-14s %-14s %11s %9s %9s %9s %7s %11s %10s %8s %9s\n",
-			"policy", "coordination", "thr (req/s)", "p50 (s)", "p99 (s)", "p999 (s)",
-			"trips", "rack-thr(s)", "permit-d %", "dropped", "J/req")
-		for _, m := range metrics {
-			fmt.Fprintf(stdout, "%-14s %-14s %11.3f %9.3f %9.3f %9.3f %7d %11.1f %10.2f %8d %9.2f\n",
-				m.Policy.String(), m.Coordination.String(), m.ThroughputRPS,
-				m.P50S, m.P99S, m.P999S, m.BreakerTrips, m.RackThrottledS,
-				100*m.PermitDenialRate, m.Dropped, m.EnergyPerRequestJ)
-			printReliabilityLine(stdout, m)
-		}
 		fmt.Fprintln(stdout, "\nuncoordinated sprints can trip the rack breaker; token permits make trips impossible by construction")
-		if tr != nil && *traceSummary {
-			printTraceSummary(stdout, *tracePath, tr)
-		}
-		return 0
+	} else {
+		fmt.Fprintln(stdout, "\nsprint-aware dispatch routes on thermal headroom; hedging trades duplicated energy for tail latency")
 	}
-
-	fmt.Fprintf(stdout, "%-14s %11s %9s %9s %9s %9s %9s %9s %8s %9s\n",
-		"policy", "thr (req/s)", "p50 (s)", "p95 (s)", "p99 (s)", "p999 (s)", "max (s)",
-		"denied %", "dropped", "J/req")
-	for _, m := range metrics {
-		fmt.Fprintf(stdout, "%-14s %11.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.2f %8d %9.2f\n",
-			m.Policy.String(), m.ThroughputRPS, m.P50S, m.P95S, m.P99S, m.P999S, m.MaxS,
-			100*m.SprintDenialRate, m.Dropped, m.EnergyPerRequestJ)
-		if m.HedgesIssued > 0 || m.HedgesSuppressed > 0 {
-			fmt.Fprintf(stdout, "%-14s %d hedges issued, %d won, %d copies cancelled, %d suppressed (no spare capacity), %.0f J total service energy\n",
-				"", m.HedgesIssued, m.HedgeWins, m.CancelledCopies, m.HedgesSuppressed, m.TotalEnergyJ)
-		}
-		printReliabilityLine(stdout, m)
-	}
-	fmt.Fprintln(stdout, "\nsprint-aware dispatch routes on thermal headroom; hedging trades duplicated energy for tail latency")
 	if tr != nil && *traceSummary {
 		printTraceSummary(stdout, *tracePath, tr)
 	}

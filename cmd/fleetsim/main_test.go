@@ -459,3 +459,145 @@ func TestTraceUnwritablePathFails(t *testing.T) {
 		t.Errorf("unwritable trace path should exit 1, got %d", code)
 	}
 }
+
+// TestReplayWorkloadFlagCoherence: replay and workload runs own their
+// load profile, so load-shaping flags, multi-run sweeps, and each other
+// are rejected up front with exit 2; -convert-trace and -replay-out are
+// a pair.
+func TestReplayWorkloadFlagCoherence(t *testing.T) {
+	cases := [][]string{
+		{"-replay", "t.csv"}, // default -policy all: replay wants one run
+		{"-replay", "t.csv", "-policy", "sprint-aware", "-coordination", "all"},
+		{"-replay", "t.csv", "-policy", "sprint-aware", "-requests", "100"},
+		{"-replay", "t.csv", "-policy", "sprint-aware", "-rate", "2"},
+		{"-replay", "t.csv", "-policy", "sprint-aware", "-workload", "w.json"},
+		{"-replay", "t.csv", "-policy", "sprint-aware", "-scenario", "s.json"},
+		{"-workload", "w.json", "-requests", "100"},
+		{"-workload", "w.json", "-work", "2"},
+		{"-convert-trace", "rec.jsonl"}, // missing -replay-out
+		{"-replay-out", "t.csv"},        // missing -convert-trace
+		{"-convert-trace", "rec.jsonl", "-replay-out", "t.csv", "-trace", "x.jsonl"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(context.Background(), args, &out, &errb); code != 2 {
+			t.Errorf("%v: want exit 2, got %d (stderr: %s)", args, code, errb.String())
+		}
+	}
+	// Missing or malformed inputs are runtime errors (exit 1), not usage.
+	if _, code := runOut(t, "-replay", filepath.Join(t.TempDir(), "absent.csv"),
+		"-policy", "sprint-aware", "-coordination", "none"); code != 1 {
+		t.Errorf("absent replay trace: want exit 1, got %d", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"classes": [], "bogus": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, code := runOut(t, "-workload", bad); code != 1 {
+		t.Errorf("unknown workload field: want exit 1, got %d", code)
+	}
+}
+
+// TestConvertReplayRoundTrip closes the record→replay loop at the CLI:
+// record a run, convert the recording, and replay it — the replay report
+// is byte-identical at every -shard-workers count.
+func TestConvertReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rec := filepath.Join(dir, "rec.jsonl")
+	if _, code := runOut(t, "-nodes", "4", "-requests", "400", "-policy", "sprint-aware",
+		"-trace", rec); code != 0 {
+		t.Fatalf("record exit %d", code)
+	}
+	trace := filepath.Join(dir, "trace.csv")
+	out, code := runOut(t, "-convert-trace", rec, "-replay-out", trace)
+	if code != 0 {
+		t.Fatalf("convert exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "converted") || !strings.Contains(out, "400 replayable arrivals") {
+		t.Errorf("convert summary missing counts:\n%s", out)
+	}
+	var reports []string
+	for _, w := range []string{"1", "4"} {
+		r, code := runOut(t, "-nodes", "4", "-policy", "sprint-aware", "-coordination", "none",
+			"-replay", trace, "-shard-workers", w)
+		if code != 0 {
+			t.Fatalf("replay (workers %s) exit %d:\n%s", w, code, r)
+		}
+		reports = append(reports, r)
+	}
+	if reports[0] != reports[1] {
+		t.Errorf("replay report changes with -shard-workers:\n%s\n---\n%s", reports[0], reports[1])
+	}
+	for _, want := range []string{"replay " + trace, "400 recorded arrivals", "sprint-aware"} {
+		if !strings.Contains(reports[0], want) {
+			t.Errorf("replay report missing %q:\n%s", want, reports[0])
+		}
+	}
+}
+
+const tinyWorkload = `{
+  "classes": [
+    {"name": "interactive", "priority": 0, "target_p99_s": 2.0},
+    {"name": "batch", "priority": 5}
+  ],
+  "tenants": [
+    {"name": "search", "class": "interactive",
+     "arrival": {"process": "poisson", "rate_per_s": 2.0},
+     "work": {"dist": "exp", "mean_s": 1.0}},
+    {"name": "analytics", "class": "batch",
+     "arrival": {"process": "poisson", "rate_per_s": 1.0},
+     "work": {"dist": "exp", "mean_s": 2.0}}
+  ],
+  "discipline": "priority",
+  "duration_s": 150
+}`
+
+// TestWorkloadMode drives -workload end to end: the header names the
+// spec, and the report carries a per-class block with SLO attainment and
+// the fairness line.
+func TestWorkloadMode(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "w.json")
+	if err := os.WriteFile(p, []byte(tinyWorkload), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := runOut(t, "-nodes", "4", "-policy", "sprint-aware", "-workload", p)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"workload " + p, "2 classes, 2 tenants",
+		"interactive", "batch", "Jain fairness"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	wide, code := runOut(t, "-nodes", "4", "-policy", "sprint-aware", "-workload", p,
+		"-shard-workers", "4")
+	if code != 0 {
+		t.Fatalf("wide exit %d", code)
+	}
+	if out != wide {
+		t.Errorf("workload report changes with -shard-workers:\n%s\n---\n%s", out, wide)
+	}
+}
+
+// TestWorkloadScenarioMode: a workload spec rides a scenario's phases —
+// the per-phase report renders and each run ends with the per-class
+// block.
+func TestWorkloadScenarioMode(t *testing.T) {
+	sp := writeScenario(t, flashScenario)
+	wp := filepath.Join(t.TempDir(), "w.json")
+	if err := os.WriteFile(wp, []byte(tinyWorkload), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := runOut(t, "-scenario", sp, "-workload", wp,
+		"-policy", "sprint-aware", "-coordination", "token-permit")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"baseline", "surge", "recovery", "overall:",
+		"interactive", "batch", "Jain fairness"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -119,6 +119,7 @@ func Registry() []Driver {
 		{ID: "rack_coordination", Title: "Rack study: shared-power sprint coordination × rack sizes × loads (extension)", Run: RackCoordination},
 		{ID: "fleet_scenarios", Title: "Scenario study: flash crowds × dispatch × coordination, per phase (extension)", Run: FleetScenarios},
 		{ID: "fleet_reliability", Title: "Reliability study: retry storms vs retry budgets under gray failures (extension)", Run: FleetReliability},
+		{ID: "fleet_tenants", Title: "Tenant study: multi-tenant SLO classes under dequeue disciplines (extension)", Run: FleetTenants},
 	}
 }
 

@@ -15,7 +15,7 @@ func quickOpt() Options { return Options{Scale: 0.12, Seed: 7} }
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	want := []string{"fig1", "table1", "fig2", "fig3", "fig4a", "fig4b", "fig5", "fig6",
 		"sec6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "designspace", "session", "fleet_policy",
-		"rack_coordination", "fleet_scenarios", "fleet_reliability"}
+		"rack_coordination", "fleet_scenarios", "fleet_reliability", "fleet_tenants"}
 	got := Registry()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d drivers, want %d", len(got), len(want))
@@ -251,6 +251,55 @@ func TestFleetReliabilityRetryStorm(t *testing.T) {
 		}
 		if fmt.Sprint(again) != fmt.Sprint(tables) {
 			t.Errorf("workers=%d changed the reliability tables", w)
+		}
+	}
+}
+
+// TestFleetTenantsPriorityContrast pins the tenant study's headline at
+// full scale: under FIFO the interactive class queues behind
+// heavy-tailed batch work, while priority dequeue serves it first —
+// cutting its p99 and raising its SLO attainment — and SJF holds the
+// lowest overall mean latency. The tables must also be byte-identical
+// at any engine worker count.
+func TestFleetTenantsPriorityContrast(t *testing.T) {
+	tables, err := FleetTenants(context.Background(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 6 {
+		t.Fatalf("expected one table with 3 disciplines x 2 classes, got %+v", tables)
+	}
+	cell := func(row int, col int) float64 {
+		var v float64
+		if _, err := fmt.Sscanf(tables[0].Rows[row][col], "%g", &v); err != nil {
+			t.Fatalf("unparseable cell %q", tables[0].Rows[row][col])
+		}
+		return v
+	}
+	// Rows: (fifo, priority, sjf) x (interactive, batch).
+	const p99Col, sloCol, meanCol = 5, 6, 8
+	fifoP99, prioP99 := cell(0, p99Col), cell(2, p99Col)
+	if prioP99 >= fifoP99 {
+		t.Errorf("priority should cut the interactive p99: fifo %.3f, priority %.3f", fifoP99, prioP99)
+	}
+	if fifoSLO, prioSLO := cell(0, sloCol), cell(2, sloCol); prioSLO <= fifoSLO {
+		t.Errorf("priority should raise interactive SLO attainment: fifo %.1f%%, priority %.1f%%", fifoSLO, prioSLO)
+	}
+	if fifoBatch, prioBatch := cell(1, p99Col), cell(3, p99Col); prioBatch < fifoBatch {
+		t.Errorf("priority's interactive win should cost the batch tail: fifo %.3f, priority %.3f", fifoBatch, prioBatch)
+	}
+	if fifoMean, sjfMean := cell(0, meanCol), cell(4, meanCol); sjfMean >= fifoMean {
+		t.Errorf("sjf should cut the overall mean: fifo %.3f, sjf %.3f", fifoMean, sjfMean)
+	}
+	for _, w := range []int{1, 8} {
+		opt := DefaultOptions()
+		opt.Workers = w
+		again, err := FleetTenants(context.Background(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(again) != fmt.Sprint(tables) {
+			t.Errorf("workers=%d changed the tenant tables", w)
 		}
 	}
 }

@@ -423,6 +423,11 @@ type Metrics struct {
 	Dropped   int
 	TimedOut  int
 	Shed      int
+	// AdmissionShed breaks out the Shed requests refused at the door by a
+	// workload SLO class's admission bucket (as opposed to shed mid-retry
+	// by the fleet-wide retry budget); always ≤ Shed, zero without a
+	// workload.
+	AdmissionShed int
 
 	// Reliability-layer work accounting (zero when Config.Reliability is
 	// off): Retries counts retry attempts dispatched; TransientFaults the
@@ -521,6 +526,16 @@ type Metrics struct {
 	// Phases is the per-phase breakdown, one entry per Scenario phase in
 	// declaration order.
 	Phases []PhaseMetrics
+
+	// Multi-tenant workload outcome (workload and labeled-replay runs
+	// only; otherwise nil/zero). Classes is the per-SLO-class breakdown in
+	// declaration order, Tenants the per-population breakdown, and
+	// JainFairness the Jain index over per-tenant completions (1 = every
+	// tenant completed equally, → 1/n under monopoly, 0 when nothing
+	// completed).
+	Classes      []ClassMetrics
+	Tenants      []TenantMetrics
+	JainFairness float64
 }
 
 // request is one open-loop arrival; doneS < 0 until its first completion.
@@ -546,6 +561,12 @@ type request struct {
 	attempt  uint8
 	timedOut bool
 	shed     bool
+	// Workload labels (zero outside workload/replay runs): slo and tenant
+	// index the workloadRun's class and tenant tables, and width > 0 caps
+	// the request's service parallelism below the node's class width.
+	slo    int16
+	tenant int16
+	width  uint16
 }
 
 // reqCopy is one dispatched copy of a request (hedging can make two): an
@@ -709,6 +730,13 @@ type sim struct {
 	// forces the serialized engines so its seeded draws replay in the
 	// exact global event order at any worker count.
 	rel *relState
+
+	// wl is the multi-tenant workload state (see workload.go), nil unless
+	// a workload or labeled replay armed it — the same zero-cost-when-off
+	// contract as rec and rel: every hook is a nil check, and a non-nil wl
+	// forces the serialized engines because admission buckets and dequeue
+	// disciplines are fleet-global state consumed in event order.
+	wl *workloadRun
 }
 
 // baseClass derives the single homogeneous node class of a plain (non-
@@ -742,9 +770,10 @@ func (s *sim) cl(n *node) *nodeClass { return &s.classes[n.class] }
 // SimulateScenario; cfg must already be defaulted and validated, and
 // cfg.Requests must be the final trace length (quantile-mode selection
 // reads it). A non-nil scen supplies the classes and per-node assignment;
-// a non-nil rec attaches the flight recorder (it must be set before
-// initShards runs, which reads it through parallelOK).
-func newSim(cfg Config, scen *scenarioRun, rec *recorder) *sim {
+// a non-nil rec attaches the flight recorder; a non-nil wl attaches the
+// multi-tenant workload state (both must be set before initShards runs,
+// which reads them through parallelOK).
+func newSim(cfg Config, scen *scenarioRun, rec *recorder, wl *workloadRun) *sim {
 	s := &sim{
 		cfg:        cfg,
 		rate:       cfg.EffectiveRatePerS(),
@@ -752,6 +781,7 @@ func newSim(cfg Config, scen *scenarioRun, rec *recorder) *sim {
 		useRef:     refDispatch,
 		scen:       scen,
 		rec:        rec,
+		wl:         wl,
 	}
 	s.m.Policy = cfg.Policy
 	s.m.Requests = cfg.Requests
@@ -850,7 +880,7 @@ func Simulate(ctx context.Context, cfg Config) (Metrics, error) {
 // simulate is the body shared by Simulate and SimulateTraced; cfg is
 // already defaulted and validated.
 func simulate(ctx context.Context, cfg Config, rec *recorder) (Metrics, error) {
-	s := newSim(cfg, nil, rec)
+	s := newSim(cfg, nil, rec, nil)
 
 	// Open-loop arrival trace: the session burst generator at the fleet's
 	// aggregate rate (mean gap = 1/rate). The trace is time-sorted with
@@ -971,6 +1001,19 @@ func (s *sim) drop(ri int32, n *node) {
 //sprint:hotpath
 func (s *sim) dispatch(ri int32) {
 	r := &s.reqs[ri]
+	if s.wl != nil && !s.wl.admit(r.slo, s.nowS) {
+		// Admission control sheds at the door, before the policy looks at
+		// the fleet: the class's token bucket is empty. Terminal — the
+		// client gets an immediate refusal, not a retry.
+		r.shed = true
+		s.m.Shed++
+		s.m.AdmissionShed++
+		s.wl.acc[r.slo].admShed++
+		if s.scen != nil {
+			s.scen.acc[r.phase].shed++
+		}
+		return
+	}
 	rr0 := s.rr
 	n := s.selectNode(r.workS, -1)
 	if n == nil || n.outstanding() >= s.cl(n).queueCap {
@@ -988,7 +1031,13 @@ func (s *sim) dispatch(ri int32) {
 	r.firstNode = int32(n.id)
 	s.enqueue(n, reqCopy{req: ri})
 	if s.cfg.Policy == Hedged {
-		s.push(event{atS: s.nowS + s.cfg.HedgeDelayS, kind: evHedge, req: ri})
+		d := s.cfg.HedgeDelayS
+		if s.wl != nil {
+			if h := s.wl.classes[r.slo].hedgeS; h > 0 {
+				d = h // per-SLO-class hedge override
+			}
+		}
+		s.push(event{atS: s.nowS + d, kind: evHedge, req: ri})
 	}
 	if s.rel != nil && s.rel.timeoutS > 0 {
 		s.push(event{atS: s.nowS + s.rel.timeoutS, kind: evTimeout, req: ri, gen: uint64(r.attempt)})
@@ -1138,10 +1187,23 @@ func (s *sim) startService(n *node, c reqCopy) {
 	if gap := s.nowS - n.gov.Now(); gap > 0 {
 		n.gov.Idle(gap)
 	}
+	cl := s.cl(n)
+	width, sprintW := cl.width, cl.sprintW
+	if s.wl != nil {
+		if rw := float64(s.reqs[c.req].width); rw > 0 && rw < width {
+			// A narrow request caps its own parallelism: it serves at its
+			// width and draws sprint power scaled to the cores it lights up.
+			// Wider-than-class requests clamp to the class width, and the
+			// whole override rides behind the wl nil check so default runs
+			// pass the class constants through verbatim.
+			width = rw
+			sprintW = cl.nominalW + cl.extraW*(rw/cl.width)
+		}
+	}
 	var serviceS, energyJ, sprintS float64
 	var full bool
 	if s.sprintAdmitted(n, workS) {
-		serviceS, energyJ, sprintS, full = s.serve(n, workS)
+		serviceS, energyJ, sprintS, full = s.serve(n, workS, width, sprintW)
 	} else {
 		serviceS = workS
 		energyJ = s.cl(n).nominalW * serviceS
@@ -1197,19 +1259,21 @@ func (s *sim) startService(n *node, c reqCopy) {
 // phase's duration (always a contiguous prefix of the service — the
 // thermal budget only drains while serving, so once degraded a service
 // never sprints again), and whether the whole request ran at full width.
+// width and sprintW are the request's effective parallelism and sprint
+// power — the class constants except under a workload width cap, where a
+// narrow request serves at its own width and proportionally lower power.
 //
 //sprint:hotpath
-func (s *sim) serve(n *node, workS float64) (serviceS, energyJ, sprintS float64, full bool) {
+func (s *sim) serve(n *node, workS, width, sprintW float64) (serviceS, energyJ, sprintS float64, full bool) {
 	cl := s.cl(n)
-	sprintW := cl.sprintW
 	nominalW := cl.nominalW
 	remaining := workS
 	full = true
 	for remaining > 1e-12 {
 		maxFullS := n.gov.MaxSprintS(sprintW)
 		switch {
-		case maxFullS*cl.width >= remaining:
-			dt := remaining / cl.width
+		case maxFullS*width >= remaining:
+			dt := remaining / width
 			n.gov.RecordSprint(sprintW, dt)
 			serviceS += dt
 			energyJ += sprintW * dt
@@ -1220,7 +1284,7 @@ func (s *sim) serve(n *node, workS float64) (serviceS, energyJ, sprintS float64,
 			serviceS += maxFullS
 			energyJ += sprintW * maxFullS
 			sprintS += maxFullS
-			remaining -= maxFullS * cl.width
+			remaining -= maxFullS * width
 			full = false
 		default:
 			dt := remaining
@@ -1289,6 +1353,9 @@ func (s *sim) complete(n *node) {
 		if s.scen != nil {
 			s.scen.acc[r.phase].observe(lat)
 		}
+		if s.wl != nil {
+			s.wl.observe(r.slo, lat)
+		}
 		if c.hedge {
 			s.m.HedgeWins++
 		}
@@ -1302,6 +1369,25 @@ func (s *sim) complete(n *node) {
 			}
 		}
 	}
+	if s.wl != nil && s.wl.disc != wlFIFO {
+		s.dequeueDisciplined(n)
+	} else {
+		s.dequeueFIFO(n)
+	}
+	if n.head == len(n.queue) {
+		n.queue = n.queue[:0]
+		n.head = 0
+		n.queuedNaiveS = 0
+	}
+	s.touch(n)
+}
+
+// dequeueFIFO starts the next live queued copy in arrival order — the
+// default dequeue, split out of complete so the workload disciplines can
+// swap it (see dequeueDisciplined in workload.go).
+//
+//sprint:hotpath
+func (s *sim) dequeueFIFO(n *node) {
 	for n.head < len(n.queue) {
 		next := n.queue[n.head]
 		n.head++
@@ -1322,12 +1408,6 @@ func (s *sim) complete(n *node) {
 		s.startService(n, next)
 		break
 	}
-	if n.head == len(n.queue) {
-		n.queue = n.queue[:0]
-		n.head = 0
-		n.queuedNaiveS = 0
-	}
-	s.touch(n)
 }
 
 // estFinishAt estimates when a request of the given work would finish on
@@ -1691,6 +1771,11 @@ func (s *sim) finish() Metrics {
 	}
 	if s.scen != nil {
 		m.Phases = s.scen.phaseMetrics()
+	}
+	if s.wl != nil {
+		// The arena is still live here; assemble derives every per-class
+		// and per-tenant figure from it in arena order.
+		s.wl.assemble(s, &m)
 	}
 	return m
 }

@@ -42,12 +42,9 @@ type relState struct {
 	maxRetries int
 	faultProb  float64
 
-	// Token-bucket retry budget: tokens refills at budgetPerS up to
-	// burst, one token per retry; budgetPerS 0 leaves retries unbudgeted.
-	budgetPerS float64
-	burst      float64
-	tokens     float64
-	refillS    float64
+	// budget is the fleet-wide token-bucket retry budget: one token per
+	// retry; ratePerS 0 leaves retries unbudgeted.
+	budget tokenBucket
 
 	// slowX is the per-node service-time multiplier (1 = healthy), nil
 	// when gray failures are off so the healthy hot path skips the slice
@@ -69,11 +66,13 @@ func newRelState(cfg Config, n int) *relState {
 		backoffS:   cfg.Reliability.RetryBackoffS,
 		maxRetries: cfg.Reliability.MaxRetries,
 		faultProb:  cfg.Reliability.FaultProb,
-		budgetPerS: cfg.Reliability.RetryBudgetPerS,
-		burst:      cfg.Reliability.RetryBurst,
-		rng:        rand.New(rand.NewSource(cfg.Seed ^ relSeed)),
+		budget: tokenBucket{
+			ratePerS: cfg.Reliability.RetryBudgetPerS,
+			burst:    cfg.Reliability.RetryBurst,
+			tokens:   cfg.Reliability.RetryBurst,
+		},
+		rng: rand.New(rand.NewSource(cfg.Seed ^ relSeed)),
 	}
-	rl.tokens = rl.burst
 	if g := cfg.Reliability.GrayFrac; g > 0 {
 		count := int(math.Round(g * float64(n)))
 		if count < 1 {
@@ -93,25 +92,42 @@ func newRelState(cfg Config, n int) *relState {
 	return rl
 }
 
-// takeToken draws one retry token from the fleet-wide budget, refilling
-// it to the current instant first; it reports false — shed the request —
-// when the bucket cannot cover a whole token. An unbudgeted layer
-// (budgetPerS 0) always grants.
+// tokenBucket is a lazily refilled token bucket shared by the retry
+// budget and the workload SLO classes' admission budgets: tokens refills
+// at ratePerS up to burst, one whole token per grant. Construct it with
+// tokens = burst so the bucket starts charged.
+type tokenBucket struct {
+	ratePerS float64
+	burst    float64
+	tokens   float64
+	refillS  float64
+}
+
+// take draws one token, refilling to the current instant first; it
+// reports false — refuse the caller — when the bucket cannot cover a
+// whole token. An unbudgeted bucket (ratePerS 0) always grants.
+//
+//sprint:hotpath
+func (b *tokenBucket) take(nowS float64) bool {
+	if b.ratePerS <= 0 {
+		return true
+	}
+	if dt := nowS - b.refillS; dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.ratePerS)
+		b.refillS = nowS
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// takeToken draws one retry token from the fleet-wide budget.
 //
 //sprint:hotpath
 func (rl *relState) takeToken(nowS float64) bool {
-	if rl.budgetPerS <= 0 {
-		return true
-	}
-	if dt := nowS - rl.refillS; dt > 0 {
-		rl.tokens = math.Min(rl.burst, rl.tokens+dt*rl.budgetPerS)
-		rl.refillS = nowS
-	}
-	if rl.tokens < 1 {
-		return false
-	}
-	rl.tokens--
-	return true
+	return rl.budget.take(nowS)
 }
 
 // timeout is the evTimeout handler: the attempt's deadline passed. A
@@ -219,6 +235,9 @@ func (s *sim) retryDispatch(ri int32) {
 	n.stats.Retries++
 	if s.scen != nil {
 		s.scen.acc[r.phase].retries++
+	}
+	if s.wl != nil {
+		s.wl.acc[r.slo].retries++
 	}
 	r.firstNode = int32(n.id)
 	s.enqueue(n, reqCopy{req: ri, attempt: r.attempt})

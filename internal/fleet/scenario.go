@@ -581,12 +581,15 @@ func (sc Scenario) generate(cfg Config, baseRate float64) (reqs []request, offer
 // class counts when classes are declared). Like Simulate, the result is a
 // pure function of (cfg, sc) — byte-identical at any worker count.
 func SimulateScenario(ctx context.Context, cfg Config, sc Scenario) (Metrics, error) {
-	return simulateScenario(ctx, cfg, sc, nil)
+	return simulateScenario(ctx, cfg, sc, nil, nil)
 }
 
-// simulateScenario is the body shared by SimulateScenario and
-// SimulateScenarioTraced; a non-nil rec attaches the flight recorder.
-func simulateScenario(ctx context.Context, cfg Config, sc Scenario, rec *recorder) (Metrics, error) {
+// simulateScenario is the body shared by SimulateScenario,
+// SimulateScenarioTraced, and the workload entry points; a non-nil rec
+// attaches the flight recorder, a non-nil wspec replaces the synthesized
+// single-population arrivals with the workload's merged tenant streams
+// (each still modulated by the scenario's phase factors).
+func simulateScenario(ctx context.Context, cfg Config, sc Scenario, rec *recorder, wspec *WorkloadSpec) (Metrics, error) {
 	sc = sc.withDefaults()
 	if n := sc.Nodes(); n > 0 {
 		cfg.Nodes = n
@@ -595,18 +598,49 @@ func simulateScenario(ctx context.Context, cfg Config, sc Scenario, rec *recorde
 	if err := sc.Validate(cfg); err != nil {
 		return Metrics{}, err
 	}
+	var w WorkloadSpec
+	if wspec != nil {
+		w = wspec.withDefaults()
+		if err := w.Validate(); err != nil {
+			return Metrics{}, err
+		}
+		if len(w.Tenants) == 0 {
+			return Metrics{}, fmt.Errorf("fleet: workload needs at least one tenant")
+		}
+	}
+	var (
+		reqs      []request
+		offered   []int
+		truncated bool
+	)
 	baseRate := sc.BaseRatePerS
-	if baseRate <= 0 {
-		baseRate = cfg.EffectiveRatePerS()
-	}
-	reqs, offered, truncated := sc.generate(cfg, baseRate)
-	if truncated {
-		putArena(reqs)
-		return Metrics{}, fmt.Errorf("fleet: scenario exceeds its %d-request cap before the timeline ends (base rate %.3g req/s); raise MaxRequests or lower the rate", sc.MaxRequests, baseRate)
-	}
-	if len(reqs) == 0 {
-		putArena(reqs)
-		return Metrics{}, fmt.Errorf("fleet: scenario generated no arrivals (rate %.3g req/s too low for its duration)", baseRate)
+	if wspec != nil {
+		maxReqs := sc.MaxRequests
+		if w.MaxRequests > 0 {
+			maxReqs = w.MaxRequests
+		}
+		reqs, offered, truncated = w.generate(cfg, sc, maxReqs)
+		if truncated {
+			putArena(reqs)
+			return Metrics{}, fmt.Errorf("fleet: workload exceeds its %d-request cap before the timeline ends; raise MaxRequests or lower tenant rates", maxReqs)
+		}
+		if len(reqs) == 0 {
+			putArena(reqs)
+			return Metrics{}, fmt.Errorf("fleet: workload generated no arrivals (tenant rates too low for the timeline)")
+		}
+	} else {
+		if baseRate <= 0 {
+			baseRate = cfg.EffectiveRatePerS()
+		}
+		reqs, offered, truncated = sc.generate(cfg, baseRate)
+		if truncated {
+			putArena(reqs)
+			return Metrics{}, fmt.Errorf("fleet: scenario exceeds its %d-request cap before the timeline ends (base rate %.3g req/s); raise MaxRequests or lower the rate", sc.MaxRequests, baseRate)
+		}
+		if len(reqs) == 0 {
+			putArena(reqs)
+			return Metrics{}, fmt.Errorf("fleet: scenario generated no arrivals (rate %.3g req/s too low for its duration)", baseRate)
+		}
 	}
 	cfg.Requests = len(reqs)
 	if err := cfg.Validate(); err != nil {
@@ -627,7 +661,11 @@ func simulateScenario(ctx context.Context, cfg Config, sc Scenario, rec *recorde
 	for _, p := range sc.Phases {
 		run.endS += p.DurationS
 	}
-	s := newSim(cfg, run, rec)
+	var wl *workloadRun
+	if wspec != nil {
+		wl = newWorkloadRun(w, streaming)
+	}
+	s := newSim(cfg, run, rec, wl)
 	s.reqs = reqs
 
 	// Phase boundaries are scheduled up front; churn chains one failure

@@ -159,9 +159,11 @@ func (s *sim) initShards() {
 // recorder appends one global record stream in event order and must
 // produce identical bytes at every worker count, and any run with the
 // reliability layer armed, whose retry budget and seeded fault/jitter
-// draws are likewise fleet-global state consumed in event order.
+// draws are likewise fleet-global state consumed in event order, and any
+// workload run, whose per-class admission buckets and dequeue
+// disciplines are fleet-global too.
 func (s *sim) parallelOK() bool {
-	return s.scen == nil && s.cfg.Policy == RoundRobin && s.cfg.Coordination != Probabilistic && s.rec == nil && s.rel == nil
+	return s.scen == nil && s.cfg.Policy == RoundRobin && s.cfg.Coordination != Probabilistic && s.rec == nil && s.rel == nil && s.wl == nil
 }
 
 // buildSegs lowers the shard cuts × class blocks into dispatch-index

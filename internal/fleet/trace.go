@@ -525,7 +525,7 @@ func SimulateTraced(ctx context.Context, cfg Config) (Metrics, *trace.Trace, err
 // timeline and churn events join the record stream. See SimulateTraced.
 func SimulateScenarioTraced(ctx context.Context, cfg Config, sc Scenario) (Metrics, *trace.Trace, error) {
 	rec := newRecorder(cfg)
-	m, err := simulateScenario(ctx, cfg, sc, rec)
+	m, err := simulateScenario(ctx, cfg, sc, rec, nil)
 	if err != nil {
 		return Metrics{}, nil, err
 	}

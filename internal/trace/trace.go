@@ -13,6 +13,8 @@
 package trace
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -186,6 +188,48 @@ func (tr *Trace) WriteJSONL(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// ReadJSONL parses a recording serialized by WriteJSONL: the meta header
+// line followed by one record per line. Decoding is strict — unknown
+// fields are rejected, the first non-blank line must be the meta header —
+// so a recording round-trips exactly: ReadJSONL(WriteJSONL(tr)) == tr.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	tr := &Trace{}
+	sawMeta := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		if !sawMeta {
+			var ml metaLine
+			if err := dec.Decode(&ml); err != nil || ml.T != "meta" {
+				return nil, fmt.Errorf("trace: line %d: first line must be the meta header {\"t\":\"meta\",...}", lineNo)
+			}
+			tr.Meta = ml.Meta
+			sawMeta = true
+			continue
+		}
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("trace: empty recording (no meta header)")
+	}
+	return tr, nil
 }
 
 // DecisionAt pairs a decision record with its timestamp; the Decision

@@ -580,6 +580,111 @@ func SimulateScenarioTracedContext(ctx context.Context, sc ScenarioConfig) (Flee
 	return fleet.SimulateScenarioTraced(ctx, sc.Fleet, sc.Scenario)
 }
 
+// FleetWorkload declares a multi-tenant workload over the fleet: SLO
+// classes (priority, latency target, token-bucket admission budget,
+// per-class hedge-delay override), tenant populations (each with its own
+// seeded Poisson/Gamma/Weibull arrival process and work/width
+// distributions), and a dequeue discipline (fifo, priority, or sjf).
+// The type unmarshals directly from JSON (the format cmd/fleetsim
+// -workload loads); results land in FleetMetrics.Classes / .Tenants /
+// .JainFairness.
+type FleetWorkload = fleet.WorkloadSpec
+
+// WorkloadSLOClass declares one service class of a FleetWorkload.
+type WorkloadSLOClass = fleet.SLOClass
+
+// WorkloadTenant declares one client population of a FleetWorkload.
+type WorkloadTenant = fleet.TenantSpec
+
+// WorkloadArrival is one tenant's arrival process (poisson, gamma, or
+// weibull, mean-matched to its rate).
+type WorkloadArrival = fleet.ArrivalSpec
+
+// WorkloadWork is one tenant's per-request work distribution (exp,
+// fixed, lognormal, or pareto, mean-matched to its mean).
+type WorkloadWork = fleet.WorkSpec
+
+// WorkloadWidth is one tenant's request-width distribution (fixed,
+// uniform, or choice); a request's width caps its service parallelism.
+type WorkloadWidth = fleet.WidthSpec
+
+// ClassMetrics is one SLO class's slice of a workload outcome:
+// offered/terminal counts, admission sheds, retries, goodput, latency
+// percentiles, and SLO attainment.
+type ClassMetrics = fleet.ClassMetrics
+
+// TenantMetrics is one tenant population's slice of a workload outcome.
+type TenantMetrics = fleet.TenantMetrics
+
+// TraceRequest is one row of a replayable request trace: arrival
+// instant, single-core work, and optional width/tenant/class labels.
+type TraceRequest = fleet.TraceRequest
+
+// SimulateWorkload runs the declared multi-tenant workload over a flat
+// timeline of FleetWorkload.DurationS seconds; like every fleet entry
+// point the result is byte-identical at any worker count.
+func SimulateWorkload(cfg FleetConfig, w FleetWorkload) (FleetMetrics, error) {
+	return SimulateWorkloadContext(context.Background(), cfg, w)
+}
+
+// SimulateWorkloadContext is SimulateWorkload under a caller context.
+func SimulateWorkloadContext(ctx context.Context, cfg FleetConfig, w FleetWorkload) (FleetMetrics, error) {
+	return fleet.SimulateWorkload(ctx, cfg, w)
+}
+
+// SimulateScenarioWorkload runs the workload's tenant populations
+// through a scenario's timeline: phase factors modulate every tenant's
+// arrival rate, while ambient shifts, churn, and heterogeneous classes
+// apply as in SimulateScenario.
+func SimulateScenarioWorkload(sc ScenarioConfig, w FleetWorkload) (FleetMetrics, error) {
+	return SimulateScenarioWorkloadContext(context.Background(), sc, w)
+}
+
+// SimulateScenarioWorkloadContext is SimulateScenarioWorkload under a
+// caller context.
+func SimulateScenarioWorkloadContext(ctx context.Context, sc ScenarioConfig, w FleetWorkload) (FleetMetrics, error) {
+	return fleet.SimulateScenarioWorkload(ctx, sc.Fleet, sc.Scenario, w)
+}
+
+// SimulateReplay replays a recorded request trace through the fleet. A
+// non-nil spec declares the SLO classes trace labels resolve against
+// (admission and disciplines then apply); without one, labeled traces
+// get implicit accounting-only classes and a fully unlabeled trace
+// reproduces the plain engine's Metrics exactly.
+func SimulateReplay(cfg FleetConfig, rows []TraceRequest, spec *FleetWorkload) (FleetMetrics, error) {
+	return SimulateReplayContext(context.Background(), cfg, rows, spec)
+}
+
+// SimulateReplayContext is SimulateReplay under a caller context.
+func SimulateReplayContext(ctx context.Context, cfg FleetConfig, rows []TraceRequest, spec *FleetWorkload) (FleetMetrics, error) {
+	return fleet.SimulateReplay(ctx, cfg, rows, spec)
+}
+
+// ParseRequestTrace reads a request trace in either supported encoding
+// (JSON lines or CSV, sniffed from the first byte; strict decode in
+// both). WriteRequestTraceCSV serializes rows so they parse back
+// bit-identically, and ReplayFromRecording converts a flight-recorder
+// FleetTrace into a replayable trace — replaying a recording of a plain
+// run reproduces that run's arrivals exactly.
+func ParseRequestTrace(r io.Reader) ([]TraceRequest, error) { return fleet.ParseRequestTrace(r) }
+
+// WriteRequestTraceCSV serializes a request trace as strict CSV.
+func WriteRequestTraceCSV(w io.Writer, rows []TraceRequest) error {
+	return fleet.WriteRequestTraceCSV(w, rows)
+}
+
+// ReplayFromRecording converts a flight-recorder trace back into a
+// replayable request trace (one row per recorded fresh-arrival dispatch
+// decision, drops included).
+func ReplayFromRecording(tr *FleetTrace) ([]TraceRequest, error) {
+	return fleet.ReplayFromRecording(tr)
+}
+
+// ReadFleetTrace parses a flight-recorder recording serialized by
+// FleetTrace.WriteJSONL; decoding is strict, so a recording round-trips
+// exactly.
+func ReadFleetTrace(r io.Reader) (*FleetTrace, error) { return trace.ReadJSONL(r) }
+
 // TraceSparkline renders a series as a one-line unicode sparkline,
 // min–max scaled; negative values (the trace's no-data sentinel, e.g. a
 // window that completed nothing) render as gaps. fleetsim uses it for
